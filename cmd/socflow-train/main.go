@@ -1,0 +1,59 @@
+// Command socflow-train runs one training job on the simulated
+// SoC-Cluster and prints per-epoch progress plus the final report.
+//
+// Example:
+//
+//	socflow-train --model resnet18 --dataset cifar10 --socs 32 \
+//	    --groups 8 --strategy socflow --epochs 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"socflow"
+)
+
+func main() {
+	var cfg socflow.Config
+	flag.StringVar(&cfg.Model, "model", "vgg11", "model: "+strings.Join(socflow.Models(), "|"))
+	flag.StringVar(&cfg.Dataset, "dataset", "cifar10", "dataset: "+strings.Join(socflow.Datasets(), "|"))
+	flag.StringVar(&cfg.Strategy, "strategy", "socflow", "strategy: "+strings.Join(socflow.Strategies(), "|"))
+	flag.IntVar(&cfg.NumSoCs, "socs", 32, "fleet size")
+	flag.IntVar(&cfg.Groups, "groups", 8, "SoCFlow logical groups")
+	flag.StringVar(&cfg.Mixed, "mixed", "auto", "SoCFlow processor mode: auto|fp32|int8|half")
+	flag.IntVar(&cfg.Epochs, "epochs", 12, "functional epochs")
+	flag.IntVar(&cfg.GlobalBatch, "batch", 0, "functional batch per group (0 = default)")
+	flag.IntVar(&cfg.TrainSamples, "samples", 960, "synthetic training samples")
+	flag.Float64Var(&cfg.TargetAccuracy, "target", 0, "stop at this validation accuracy (0 = run all epochs)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	gen := flag.String("gen", "sd865", "SoC generation: sd865|sd8gen1")
+	flag.Parse()
+	cfg.Seed = *seed
+	cfg.Generation = *gen
+
+	rep, err := socflow.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socflow-train:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strategy=%s model=%s dataset=%s socs=%d\n", rep.Strategy, rep.Model, rep.Dataset, cfg.NumSoCs)
+	for e, acc := range rep.EpochAccuracies {
+		fmt.Printf("  epoch %2d  val-acc %5.1f%%\n", e+1, 100*acc)
+	}
+	fmt.Printf("best accuracy       : %.1f%%\n", 100*rep.BestAccuracy)
+	fmt.Printf("simulated time      : %.1f s (%.2f s/epoch)\n", rep.SimSeconds, rep.MeanEpochSeconds)
+	fmt.Printf("fleet energy        : %.1f kJ\n", rep.EnergyKJ)
+	fmt.Printf("est. hours to paper-scale convergence: %.2f h\n", rep.EstimatedHoursToConverge)
+	if rep.EpochsToTarget > 0 {
+		fmt.Printf("target reached at epoch %d (%.1f simulated s)\n", rep.EpochsToTarget, rep.SimSecondsToTarget)
+	}
+	total := rep.ComputeSeconds + rep.SyncSeconds + rep.UpdateSeconds
+	if total > 0 {
+		fmt.Printf("breakdown           : compute %.0f%%  sync %.0f%%  update %.0f%%\n",
+			100*rep.ComputeSeconds/total, 100*rep.SyncSeconds/total, 100*rep.UpdateSeconds/total)
+	}
+}

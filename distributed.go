@@ -1,0 +1,134 @@
+package socflow
+
+import (
+	"fmt"
+
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/runtime"
+	"socflow/internal/transport"
+)
+
+// DistributedConfig configures RunDistributed: the same training job
+// shape as Config, executed by real concurrent workers — one goroutine
+// per SoC exchanging tensors over loopback TCP (or in-process channels)
+// with SoCFlow's actual wire protocol: chunked Ring-AllReduce inside
+// logical groups per batch, a leader ring across groups per epoch, and
+// cross-group data reshuffling.
+type DistributedConfig struct {
+	// Model and Dataset are catalog names (see Models, Datasets).
+	Model, Dataset string
+	// NumSoCs is the worker count (default 8; each worker is a
+	// goroutine plus its TCP links, so keep this laptop-sized).
+	NumSoCs int
+	// Groups is the logical-group count (default 2).
+	Groups int
+	// Epochs, GroupBatch, LR, Momentum, Seed as in Config.
+	Epochs     int
+	GroupBatch int
+	LR         float32
+	Momentum   float32
+	Seed       uint64
+	// TrainSamples/ValSamples size the synthetic datasets (defaults
+	// 640/128).
+	TrainSamples, ValSamples int
+	// InProcess swaps the loopback-TCP mesh (default) for in-process
+	// channels — faster and fully deterministic, same protocol.
+	InProcess bool
+}
+
+// DistributedReport is RunDistributed's outcome.
+type DistributedReport struct {
+	// EpochAccuracies is validation accuracy per epoch.
+	EpochAccuracies []float64
+	// BestAccuracy is the maximum over epochs.
+	BestAccuracy float64
+	// Topology echoes the integrity-greedy mapping used.
+	Topology [][]int
+}
+
+// RunDistributed trains with the concurrent distributed engine. Unlike
+// Run — which executes the mathematically equivalent single-model lift
+// per group and prices time on the simulated cluster — this actually
+// spawns one worker per SoC and moves every gradient over the
+// transport. Use it to demonstrate or debug the protocol itself.
+func RunDistributed(cfg DistributedConfig) (*DistributedReport, error) {
+	if cfg.Model == "" {
+		cfg.Model = "lenet5"
+	}
+	if cfg.Dataset == "" {
+		cfg.Dataset = "fmnist"
+	}
+	if cfg.NumSoCs == 0 {
+		cfg.NumSoCs = 8
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 2
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 6
+	}
+	if cfg.GroupBatch == 0 {
+		cfg.GroupBatch = 16
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.03
+	}
+	if cfg.Momentum == 0 {
+		cfg.Momentum = 0.9
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.TrainSamples == 0 {
+		cfg.TrainSamples = 640
+	}
+	if cfg.ValSamples == 0 {
+		cfg.ValSamples = 128
+	}
+
+	spec, err := nn.GetSpec(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := dataset.GetProfile(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
+	train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
+
+	mapping := core.IntegrityGreedyMap(cfg.NumSoCs, cfg.Groups, 5)
+
+	var mesh transport.Mesh
+	if cfg.InProcess {
+		mesh = transport.NewChanMesh(cfg.NumSoCs)
+	} else {
+		tcp, err := transport.NewTCPMesh(cfg.NumSoCs)
+		if err != nil {
+			return nil, fmt.Errorf("socflow: building TCP mesh: %w", err)
+		}
+		defer tcp.Close()
+		mesh = tcp
+	}
+
+	res, err := runtime.RunDistributed(mesh, spec, train, val, runtime.DistConfig{
+		Groups:     runtime.GroupsFromMapping(mapping),
+		Epochs:     cfg.Epochs,
+		GroupBatch: cfg.GroupBatch,
+		LR:         cfg.LR,
+		Momentum:   cfg.Momentum,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &DistributedReport{EpochAccuracies: res.EpochAccuracies, Topology: mapping.Groups}
+	for _, a := range res.EpochAccuracies {
+		if a > rep.BestAccuracy {
+			rep.BestAccuracy = a
+		}
+	}
+	return rep, nil
+}

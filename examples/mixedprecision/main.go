@@ -1,0 +1,65 @@
+// Mixedprecision: a walkthrough of §3.2's α/β controller on a single
+// SoC. The mini-batch is split between the CPU (FP32) and the NPU
+// (INT8 on a persistent grid); α is re-probed each epoch and the data
+// split follows max(e^−α, 1−β).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socflow/internal/cluster"
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+func main() {
+	spec := nn.MustSpec("vgg11")
+	prof := dataset.MustProfile("cifar10")
+	pool := prof.Generate(dataset.GenOptions{Samples: 600, Seed: 11})
+	train, val := pool.Split(0.85)
+
+	// β comes from profiling both processors once (§3.2).
+	clu := cluster.New(cluster.Config{NumSoCs: 1})
+	beta := clu.ComputeRatio(0, spec, 64)
+	fmt.Printf("profiled compute-power ratio β = %.2f (NPU takes up to %.0f%% of each batch)\n", beta, 100*beta)
+
+	root := tensor.NewRNG(11)
+	ref := spec.BuildMicro(root, train.Channels(), train.ImageSize(), train.Classes)
+	build := func() *nn.Sequential {
+		return spec.BuildMicro(root.Split(1), train.Channels(), train.ImageSize(), train.Classes)
+	}
+	mp := core.NewMixedPrecision(ref, build, 0.02, 0.9, beta, root.Split(2))
+
+	it := dataset.NewBatchIterator(train, 32, 5)
+	fmt.Printf("\n%5s %7s %10s %12s %10s\n", "epoch", "α", "cpu share", "batch split", "val acc")
+	for epoch := 1; epoch <= 10; epoch++ {
+		for i := 0; i < it.BatchesPerEpoch(); i++ {
+			x, labels := it.Next()
+			mp.Step(x, labels)
+		}
+		mp.EndEpoch(val, 32)
+		cpuN, npuN := mp.SplitBatch(32)
+		acc := accuracy(mp.FP32, val)
+		fmt.Printf("%5d %7.3f %9.0f%% %6d/%-5d %9.1f%%\n",
+			epoch, mp.Alpha, 100*mp.CPUShare(), cpuN, npuN, 100*acc)
+	}
+
+	fmt.Println("\nα tracks how well the INT8 replica keeps up with the FP32 one:")
+	fmt.Println("when it drifts the CPU share rises to protect accuracy, and when it")
+	fmt.Println("recovers the NPU gets the data back for speed (Fig. 14).")
+}
+
+func accuracy(m *nn.Sequential, d *dataset.Dataset) float64 {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := d.Batch(idx)
+	if len(labels) == 0 {
+		log.Fatal("empty validation set")
+	}
+	return nn.Accuracy(m.Forward(x, false), labels)
+}

@@ -1,0 +1,44 @@
+// Quickstart: train a model on a simulated 32-SoC cluster with SoCFlow
+// and compare it against the Ring-AllReduce baseline, using only the
+// public facade API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socflow"
+)
+
+func main() {
+	base := socflow.Config{
+		Model:   "vgg11",
+		Dataset: "cifar10",
+		NumSoCs: 32,
+		Groups:  8,
+		Epochs:  8,
+	}
+
+	fmt.Println("training VGG-11/CIFAR-10 on a simulated 32-SoC cluster...")
+	ours, err := socflow.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ring := base
+	ring.Strategy = "ring"
+	baseline, err := socflow.Run(ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %10s %12s %10s\n", "strategy", "best acc", "epoch time", "energy")
+	for _, r := range []*socflow.Report{ours, baseline} {
+		fmt.Printf("%-10s %9.1f%% %10.1f s %8.1f kJ\n",
+			r.Strategy, 100*r.BestAccuracy, r.MeanEpochSeconds, r.EnergyKJ)
+	}
+	fmt.Printf("\nSoCFlow trains each epoch %.1fx faster than Ring-AllReduce\n",
+		baseline.MeanEpochSeconds/ours.MeanEpochSeconds)
+	fmt.Printf("estimated paper-scale convergence: SoCFlow %.2f h vs RING %.2f h (idle window ≈ 4 h)\n",
+		ours.EstimatedHoursToConverge, baseline.EstimatedHoursToConverge)
+}

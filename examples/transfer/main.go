@@ -1,0 +1,80 @@
+// Transfer: the paper's ResNet50-Finetune scenario (Table 2) — a model
+// pre-trained on CINIC-10 is fine-tuned on CIFAR-10 with SoCFlow. The
+// federated baselines do not converge on this workload (Table 3 marks
+// them "x"); SoCFlow's reshuffled group-wise training does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socflow/internal/cluster"
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+func main() {
+	spec := nn.MustSpec("resnet50")
+
+	// Phase 1: "pre-training" on the CINIC-10 stand-in (same 10
+	// classes, more images — §4.1).
+	pre := dataset.MustProfile("cinic10").Generate(dataset.GenOptions{Samples: 800, Seed: 21})
+	root := tensor.NewRNG(21)
+	pretrained := spec.BuildMicro(root, pre.Channels(), pre.ImageSize(), pre.Classes)
+	opt := nn.NewSGD(0.02, 0.9, 0)
+	it := dataset.NewBatchIterator(pre, 32, 1)
+	for e := 0; e < 6; e++ {
+		for i := 0; i < it.BatchesPerEpoch(); i++ {
+			x, labels := it.Next()
+			pretrained.ZeroGrad()
+			logits := pretrained.Forward(x, true)
+			_, g := nn.SoftmaxCrossEntropy(logits, labels)
+			pretrained.Backward(g)
+			opt.Step(pretrained.Params())
+		}
+	}
+	fmt.Println("pre-trained ResNet-50 stand-in on the CINIC-10 substitute")
+
+	// Phase 2: distributed fine-tuning on CIFAR-10 with SoCFlow. The
+	// fine-tune starts from the pre-trained weights by seeding every
+	// group's reference model.
+	pool := dataset.MustProfile("cifar10").Generate(dataset.GenOptions{Samples: 840, Seed: 22})
+	train, val := pool.Split(0.85)
+	job := &core.Job{
+		Spec:         spec,
+		Train:        train,
+		Val:          val,
+		PaperSamples: dataset.MustProfile("cifar10").PaperTrainN,
+		GlobalBatch:  12,
+		PaperBatch:   64,
+		LR:           0.01, // fine-tuning rate
+		Momentum:     0.9,
+		Epochs:       6,
+		Seed:         22,
+	}
+
+	clu := cluster.New(cluster.Config{NumSoCs: 32})
+
+	// Scratch baseline for contrast.
+	scratch, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff}).Run(job, clu)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fine-tune: same run, but warm-started. core.Job seeds models from
+	// its Seed; to warm-start we wrap the strategy with a pre-seeded
+	// reference via WarmStart.
+	fineJob := *job
+	fine, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff, WarmStart: pretrained}).Run(&fineJob, clu)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %12s %12s\n", "variant", "epoch-1 acc", "best acc")
+	fmt.Printf("%-12s %11.1f%% %11.1f%%\n", "from scratch", 100*scratch.EpochAccuracies[0], 100*scratch.BestAccuracy)
+	fmt.Printf("%-12s %11.1f%% %11.1f%%\n", "fine-tuned", 100*fine.EpochAccuracies[0], 100*fine.BestAccuracy)
+	fmt.Println("\ntransfer learning starts far ahead and converges in a fraction of the epochs,")
+	fmt.Println("which is why the paper's ResNet50-Finetune rows finish fastest (Fig. 8).")
+}

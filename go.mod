@@ -1,0 +1,3 @@
+module socflow
+
+go 1.22

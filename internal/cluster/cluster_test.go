@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"socflow/internal/nn"
+	"socflow/internal/simnet"
+)
+
+func TestNewClusterLayout(t *testing.T) {
+	c := New(Config{NumSoCs: 12})
+	if c.NumPCBs != 3 {
+		t.Fatalf("12 SoCs / 5 per PCB = %d PCBs, want 3", c.NumPCBs)
+	}
+	if c.PCBOf(0) != 0 || c.PCBOf(4) != 0 || c.PCBOf(5) != 1 || c.PCBOf(11) != 2 {
+		t.Fatal("PCB assignment wrong")
+	}
+	if !c.SamePCB(0, 4) || c.SamePCB(4, 5) {
+		t.Fatal("SamePCB wrong")
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero SoCs must panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPathIntraVsInterPCB(t *testing.T) {
+	c := New(Config{NumSoCs: 10})
+	if got := c.Path(0, 0); got != nil {
+		t.Fatalf("self path = %v, want nil", got)
+	}
+	intra := c.Path(0, 1)
+	if len(intra) != 2 {
+		t.Fatalf("intra-PCB path has %d links, want 2", len(intra))
+	}
+	inter := c.Path(0, 7)
+	if len(inter) != 5 {
+		t.Fatalf("inter-PCB path has %d links, want 5", len(inter))
+	}
+}
+
+func TestInterPCBSlowerThanIntra(t *testing.T) {
+	c := New(Config{NumSoCs: 10})
+	const bytes = 42e6
+	intra := simnet.TransferTime(bytes, c.Path(0, 1)...)
+	inter := simnet.TransferTime(bytes, c.Path(0, 7)...)
+	if inter <= intra {
+		t.Fatalf("inter-PCB (%v) must be slower than intra-PCB (%v)", inter, intra)
+	}
+}
+
+// Many inter-PCB flows from one board must contend on the PCB uplink —
+// the core phenomenon of Observation #2.
+func TestPCBUplinkContention(t *testing.T) {
+	c := New(Config{NumSoCs: 10})
+	one := simnet.Simulate([]*simnet.Flow{c.Flow("a", 0, 5, 10e6, 0)})
+	var flows []*simnet.Flow
+	for i := 0; i < 5; i++ {
+		flows = append(flows, c.Flow("f", i, 5+i, 10e6, 0))
+	}
+	five := simnet.Simulate(flows)
+	if five < 4.5*one {
+		t.Fatalf("5 concurrent inter-PCB flows (%v) should be ~5x one flow (%v): PCB uplink must serialize them", five, one)
+	}
+}
+
+func TestStepTimeCalibration(t *testing.T) {
+	// The headline calibration: VGG-11/CIFAR-10 on one 865 CPU ≈ 29.1 h
+	// (Fig. 4(a)), with 50k samples, 100 epochs, batch 64.
+	c := New(Config{NumSoCs: 1})
+	spec := nn.MustSpec("vgg11")
+	batch := 64
+	stepsPerEpoch := 50000 / batch
+	total := float64(stepsPerEpoch*spec.EpochsToConverge) * c.StepTime(0, spec, batch, CPU)
+	hours := total / 3600
+	if hours < 26 || hours > 33 {
+		t.Fatalf("VGG-11 CPU training = %.1f h, want ≈29.1 h", hours)
+	}
+	// NPU INT8 ≈ 7.5 h.
+	totalNPU := float64(stepsPerEpoch*spec.EpochsToConverge) * c.StepTime(0, spec, batch, NPU)
+	if h := totalNPU / 3600; h < 6 || h > 10 {
+		t.Fatalf("VGG-11 NPU training = %.1f h, want ≈7.5 h", h)
+	}
+}
+
+func TestStepTimeResNetCalibration(t *testing.T) {
+	// ResNet-18: ≈233 h CPU, ≈36 h NPU (Fig. 4(a)).
+	c := New(Config{NumSoCs: 1})
+	spec := nn.MustSpec("resnet18")
+	steps := 50000 / 64 * spec.EpochsToConverge
+	cpu := float64(steps) * c.StepTime(0, spec, 64, CPU) / 3600
+	npu := float64(steps) * c.StepTime(0, spec, 64, NPU) / 3600
+	if cpu < 200 || cpu > 260 {
+		t.Fatalf("ResNet-18 CPU = %.0f h, want ≈233 h", cpu)
+	}
+	if npu < 28 || npu > 45 {
+		t.Fatalf("ResNet-18 NPU = %.0f h, want ≈36 h", npu)
+	}
+}
+
+func TestStepTimeThrottle(t *testing.T) {
+	c := New(Config{NumSoCs: 2})
+	spec := nn.MustSpec("vgg11")
+	full := c.StepTime(0, spec, 64, CPU)
+	c.SetThrottle(0, 0.5)
+	half := c.StepTime(0, spec, 64, CPU)
+	if math.Abs(half-2*full) > 1e-9 {
+		t.Fatalf("throttle 0.5 should double step time: %v vs %v", half, full)
+	}
+}
+
+func TestSetThrottleValidates(t *testing.T) {
+	c := New(Config{NumSoCs: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad throttle must panic")
+		}
+	}()
+	c.SetThrottle(0, 0)
+}
+
+func TestSplitStepTimeIsMax(t *testing.T) {
+	c := New(Config{NumSoCs: 1})
+	spec := nn.MustSpec("vgg11")
+	ct := c.StepTime(0, spec, 32, CPU)
+	nt := c.StepTime(0, spec, 32, NPU)
+	if got := c.SplitStepTime(0, spec, 32, 32); got != math.Max(ct, nt) {
+		t.Fatalf("SplitStepTime = %v, want max(%v,%v)", got, ct, nt)
+	}
+	if got := c.SplitStepTime(0, spec, 0, 32); got != nt {
+		t.Fatalf("empty CPU side should cost only NPU time")
+	}
+}
+
+func TestComputeRatioFavorsNPU(t *testing.T) {
+	c := New(Config{NumSoCs: 1})
+	beta := c.ComputeRatio(0, nn.MustSpec("vgg11"), 64)
+	if beta <= 0.5 || beta >= 1 {
+		t.Fatalf("β = %v; the ~4x-faster NPU should get most of the batch", beta)
+	}
+}
+
+func TestZeroBatchStepTime(t *testing.T) {
+	c := New(Config{NumSoCs: 1})
+	if got := c.StepTime(0, nn.MustSpec("vgg11"), 0, CPU); got != 0 {
+		t.Fatalf("zero batch step time = %v", got)
+	}
+}
+
+func TestGPUModels(t *testing.T) {
+	spec := nn.MustSpec("vgg11")
+	tV := V100.TrainTime(spec, 50000, spec.EpochsToConverge, 128)
+	tA := A100.TrainTime(spec, 50000, spec.EpochsToConverge, 128)
+	if tA >= tV {
+		t.Fatalf("A100 (%v) should beat V100 (%v)", tA, tV)
+	}
+	if e := V100.Energy(3600); e != 250*3600 {
+		t.Fatalf("V100 energy = %v", e)
+	}
+	// V100 should train VGG-11 in sub-hour to low-hours territory
+	// (small model, big GPU).
+	if h := tV / 3600; h < 0.1 || h > 3 {
+		t.Fatalf("V100 VGG-11 time = %.2f h, implausible", h)
+	}
+}
+
+func TestEnergyMeterAccounting(t *testing.T) {
+	m := NewEnergyMeter(2)
+	m.AddCompute(0, 10, CPU)
+	m.AddCompute(1, 10, NPU)
+	m.AddComm(0, 5)
+	m.AddIdle(1, 5)
+	wantSoC0 := 10*PowerCPUTrainW + 5*PowerCommW
+	wantSoC1 := 10*PowerNPUTrainW + 5*PowerIdleW
+	if math.Abs(m.SoC(0)-wantSoC0) > 1e-9 || math.Abs(m.SoC(1)-wantSoC1) > 1e-9 {
+		t.Fatalf("meter = %v/%v, want %v/%v", m.SoC(0), m.SoC(1), wantSoC0, wantSoC1)
+	}
+	if math.Abs(m.Total()-(wantSoC0+wantSoC1)) > 1e-9 {
+		t.Fatalf("total = %v", m.Total())
+	}
+	if math.Abs(m.TotalKJ()*1000-m.Total()) > 1e-9 {
+		t.Fatal("TotalKJ inconsistent")
+	}
+	m2 := NewEnergyMeter(1)
+	m2.AddMixedCompute(0, 2, 3)
+	if math.Abs(m2.SoC(0)-(2*PowerCPUTrainW+3*PowerNPUTrainW)) > 1e-9 {
+		t.Fatal("mixed compute accounting wrong")
+	}
+}
+
+func TestTidalTraceShape(t *testing.T) {
+	tr := DefaultTidalTrace()
+	peak := tr.BusyFraction(14.5)
+	trough := tr.BusyFraction(2.5)
+	if peak < 0.8 || trough > 0.1 {
+		t.Fatalf("peak=%v trough=%v", peak, trough)
+	}
+	// Fig. 3 / §2.2: afternoon at least 10x the night.
+	if peak/trough < 10 {
+		t.Fatalf("peak/trough = %v, want >= 10 (tidal phenomenon)", peak/trough)
+	}
+	profile := tr.HourlyProfile()
+	if len(profile) != 24 {
+		t.Fatalf("profile length %d", len(profile))
+	}
+	for h, v := range profile {
+		if v < 0 || v > 1 {
+			t.Fatalf("profile[%d] = %v out of [0,1]", h, v)
+		}
+	}
+}
+
+func TestIdleWindowCoversNight(t *testing.T) {
+	tr := DefaultTidalTrace()
+	start, hours := tr.IdleWindow(0.2)
+	if hours < 4 {
+		t.Fatalf("idle window only %.1f h, the paper schedules ~4 h jobs nightly", hours)
+	}
+	// The window must cover deep night (3:00 is inside it).
+	end := start + hours
+	covers := (start <= 3 && 3 <= end) || (start <= 27 && 27 <= end)
+	if !covers {
+		t.Fatalf("idle window [%v, %v) does not cover 3:00", start, end)
+	}
+}
+
+func TestBusyScheduleMatchesProfile(t *testing.T) {
+	tr := DefaultTidalTrace()
+	sched := tr.BusySchedule(500, 7)
+	if len(sched) != 500 || len(sched[0]) != 24 {
+		t.Fatalf("schedule shape %dx%d", len(sched), len(sched[0]))
+	}
+	// At 14:00 (peak) most SoCs busy; at 3:00 (trough) few.
+	busyAt := func(h int) float64 {
+		n := 0
+		for _, s := range sched {
+			if s[h] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(sched))
+	}
+	if busyAt(14) < 0.7 {
+		t.Fatalf("peak busy fraction = %v", busyAt(14))
+	}
+	if busyAt(3) > 0.15 {
+		t.Fatalf("trough busy fraction = %v", busyAt(3))
+	}
+}
+
+func TestGenerationsDiffer(t *testing.T) {
+	c865 := New(Config{NumSoCs: 1, Generation: Gen865})
+	c8g1 := New(Config{NumSoCs: 1, Generation: Gen8Gen1})
+	spec := nn.MustSpec("resnet18")
+	if c8g1.StepTime(0, spec, 64, NPU) >= c865.StepTime(0, spec, 64, NPU) {
+		t.Fatal("8gen1 NPU should be faster than 865")
+	}
+}
+
+func TestThermalTraceShape(t *testing.T) {
+	tr := ThermalTrace(10, 5, 0.5, 0.5, 3)
+	if len(tr) != 5 || len(tr[0]) != 10 {
+		t.Fatalf("trace shape %dx%d", len(tr), len(tr[0]))
+	}
+	throttled, full := 0, 0
+	for _, epoch := range tr {
+		for _, f := range epoch {
+			if f <= 0 || f > 1 {
+				t.Fatalf("throttle factor %v out of (0,1]", f)
+			}
+			if f == 1 {
+				full++
+			} else {
+				if f < 0.5 {
+					t.Fatalf("factor %v below minFactor", f)
+				}
+				throttled++
+			}
+		}
+	}
+	if throttled == 0 || full == 0 {
+		t.Fatalf("degenerate trace: %d throttled, %d full", throttled, full)
+	}
+}
+
+func TestThermalTraceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad minFactor must panic")
+		}
+	}()
+	ThermalTrace(2, 2, 0.5, 0, 1)
+}

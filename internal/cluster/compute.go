@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+
+	"socflow/internal/nn"
+)
+
+// Processor selects which on-SoC engine executes a training step.
+type Processor int
+
+// Processors on a mobile SoC that SoCFlow trains with.
+const (
+	// CPU is FP32 training on the big Kryo cores (MNN backend).
+	CPU Processor = iota
+	// NPU is INT8 training on the Hexagon DSP (Mandheling backend).
+	NPU
+)
+
+// String implements fmt.Stringer.
+func (p Processor) String() string {
+	switch p {
+	case CPU:
+		return "cpu"
+	case NPU:
+		return "npu"
+	default:
+		return fmt.Sprintf("proc(%d)", int(p))
+	}
+}
+
+// StepTime returns the simulated wall time for one training step of
+// `batch` samples of the paper-scale model on the given SoC and
+// processor: FLOP cost over effective throughput, plus the fixed
+// per-batch dispatch overhead, divided by the SoC's DVFS throttle.
+func (c *Cluster) StepTime(soc int, spec *nn.Spec, batch int, proc Processor) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	gen := c.Config.Generation
+	// Training ≈ 3x forward (forward + weight grad + input grad).
+	gflop := 3 * spec.ForwardGFLOPs * float64(batch)
+	var t float64
+	switch proc {
+	case CPU:
+		t = gflop/gen.CPUGflops + CPUBatchOverhead
+	case NPU:
+		speedup := spec.NPUSpeedup * gen.NPUBoost
+		t = gflop/(gen.CPUGflops*speedup) + NPUBatchOverhead
+	default:
+		panic(fmt.Sprintf("cluster: unknown processor %v", proc))
+	}
+	return t / c.SoCs[soc].Throttle
+}
+
+// SplitStepTime returns the wall time of a mixed-precision step where
+// cpuBatch samples run on the CPU and npuBatch on the NPU in parallel
+// (§3.2): the step completes when the slower side does.
+func (c *Cluster) SplitStepTime(soc int, spec *nn.Spec, cpuBatch, npuBatch int) float64 {
+	ct := c.StepTime(soc, spec, cpuBatch, CPU)
+	nt := c.StepTime(soc, spec, npuBatch, NPU)
+	if ct > nt {
+		return ct
+	}
+	return nt
+}
+
+// ComputeRatio returns β, the fraction of each mini-batch the NPU
+// should take so that neither processor idles (§3.2). With T_cpu and
+// T_npu the profiled times for the same batch, the idle-free split is
+// β = T_cpu / (T_cpu + T_npu): the faster processor takes
+// proportionally more data. (Eq. 6 in the paper prints the mirrored
+// ratio, which would starve the NPU; the surrounding text — "to avoid
+// processor idleness" — and Fig. 14 imply this balanced form.)
+func (c *Cluster) ComputeRatio(soc int, spec *nn.Spec, profileBatch int) float64 {
+	tc := c.StepTime(soc, spec, profileBatch, CPU)
+	tn := c.StepTime(soc, spec, profileBatch, NPU)
+	return tc / (tc + tn)
+}
+
+// GPUStepTime returns the per-step time of the comparator GPU on the
+// paper-scale model.
+func (g GPUModel) GPUStepTime(spec *nn.Spec, batch int) float64 {
+	return 3*spec.ForwardGFLOPs*float64(batch)/g.EffGflops + g.BatchOverhead
+}
+
+// TrainTime returns the comparator GPU's end-to-end training time for
+// the given dataset size, epochs, and batch size.
+func (g GPUModel) TrainTime(spec *nn.Spec, samples, epochs, batch int) float64 {
+	steps := (samples + batch - 1) / batch * epochs
+	return float64(steps) * g.GPUStepTime(spec, batch)
+}
+
+// Energy returns the comparator GPU's training energy in joules.
+func (g GPUModel) Energy(trainSeconds float64) float64 {
+	return trainSeconds * g.PowerW
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import "fmt"
+
+// EnergyMeter integrates per-SoC energy over the simulated timeline.
+// The engine reports how long each SoC spent in each state; the meter
+// prices the states with the calibrated powers in params.go (fitted to
+// Fig. 9 / Fig. 11).
+type EnergyMeter struct {
+	joules []float64
+}
+
+// NewEnergyMeter creates a meter for n SoCs.
+func NewEnergyMeter(n int) *EnergyMeter {
+	return &EnergyMeter{joules: make([]float64, n)}
+}
+
+// AddCompute charges seconds of training on the given processor.
+func (m *EnergyMeter) AddCompute(soc int, seconds float64, proc Processor) {
+	switch proc {
+	case CPU:
+		m.joules[soc] += seconds * PowerCPUTrainW
+	case NPU:
+		m.joules[soc] += seconds * PowerNPUTrainW
+	default:
+		panic(fmt.Sprintf("cluster: unknown processor %v", proc))
+	}
+}
+
+// AddMixedCompute charges a mixed-precision step where both processors
+// run for their own durations within the same wall-clock step.
+func (m *EnergyMeter) AddMixedCompute(soc int, cpuSeconds, npuSeconds float64) {
+	m.joules[soc] += cpuSeconds*PowerCPUTrainW + npuSeconds*PowerNPUTrainW
+}
+
+// AddComm charges seconds of network synchronization.
+func (m *EnergyMeter) AddComm(soc int, seconds float64) {
+	m.joules[soc] += seconds * PowerCommW
+}
+
+// AddIdle charges seconds of waiting (e.g. a CG pipeline stall).
+func (m *EnergyMeter) AddIdle(soc int, seconds float64) {
+	m.joules[soc] += seconds * PowerIdleW
+}
+
+// SoC returns one SoC's accumulated joules.
+func (m *EnergyMeter) SoC(i int) float64 { return m.joules[i] }
+
+// Total returns the fleet's accumulated joules.
+func (m *EnergyMeter) Total() float64 {
+	var s float64
+	for _, j := range m.joules {
+		s += j
+	}
+	return s
+}
+
+// TotalKJ returns the fleet total in kilojoules, the unit of Fig. 9.
+func (m *EnergyMeter) TotalKJ() float64 { return m.Total() / 1000 }

@@ -1,0 +1,101 @@
+// Package cluster models the commercial SoC-Cluster server the paper
+// evaluates on (§2.1, Fig. 2): 60 Snapdragon 865 SoCs on 12 PCBs with
+// five SoCs each, 1 Gbps links from every SoC to its PCB NIC, 1 Gbps
+// from every PCB to the Ethernet switch, and a 20 Gbps switch fabric.
+// It provides the per-SoC compute-time model, the simnet topology, the
+// energy model, datacenter-GPU comparators, and the tidal utilization
+// traces — everything the performance track needs.
+package cluster
+
+// Calibration constants. Each value is fitted to a measurement the
+// paper reports; the fit target is cited inline. See DESIGN.md §5.
+const (
+	// SoCCPUGflops is the effective FP32 training throughput of the
+	// Snapdragon 865's four big Kryo 585 cores. Fitted to §2.3 /
+	// Fig. 4(a): VGG-11 on CIFAR-10 (50k samples, ~40 epochs to its
+	// 84.5% convergence accuracy, 3x-forward training cost) takes
+	// 29.1 h on the mobile CPU. The joint fit with the Fig. 13
+	// ablation (mixed precision must buy a multi-x speedup, so compute
+	// must rival communication per iteration) lands at ~8.8 GFLOP/s —
+	// consistent with MNN FP32 training on 4 big cores.
+	SoCCPUGflops = 8.8
+
+	// CPUBatchOverhead and NPUBatchOverhead are fixed per-mini-batch
+	// costs (operator dispatch, data staging) that dominate for tiny
+	// models like LeNet-5, where FLOPs alone would predict absurdly
+	// fast epochs. Typical MNN/Mandheling dispatch costs on the 865.
+	CPUBatchOverhead = 0.020 // seconds
+	NPUBatchOverhead = 0.012 // seconds
+
+	// SoCLinkBps is the 1 Gbps SoC <-> PCB-NIC SAS link (§2.1).
+	SoCLinkBps = 125e6
+	// PCBLinkBps is the 1 Gbps PCB <-> switch link (§2.1).
+	PCBLinkBps = 125e6
+	// FabricBps is the 20 Gbps switch fabric (dual SFP+, §2.1).
+	FabricBps = 2.5e9
+	// LinkLatencySec is the per-hop latency; small but it accumulates
+	// over ring steps.
+	LinkLatencySec = 0.0002
+
+	// SyncStartupPerSoC is the per-participant cost of preparing and
+	// starting a collective (connection churn, tensor registration).
+	// Fitted to §2.3: "32-SoC weight aggregation's preparing and
+	// starting the communication for the ResNet18 model takes 1300 ms"
+	// => ~40 ms per SoC.
+	SyncStartupPerSoC = 0.040
+
+	// Power states of one Snapdragon 865 SoC during training. The
+	// paper's Fig. 11 ratios (0.80x-2.79x the V100's speed at
+	// 2.31x-10.23x less energy) imply the 60-SoC fleet averages
+	// ~85-105 W, i.e. ~1.4-1.8 W per SoC — sustained-thermal-envelope
+	// silicon power, not burst TDP.
+	PowerCPUTrainW = 2.5
+	PowerNPUTrainW = 1.5
+	PowerCommW     = 0.35
+	PowerIdleW     = 0.1
+
+	// SoCsPerPCBDefault is the PCB population of the evaluated server
+	// (Fig. 2(b): 5 SoCs per board).
+	SoCsPerPCBDefault = 5
+)
+
+// GPUModel is a datacenter-GPU comparator for §4.4 (Fig. 11). The
+// effective throughput is for *small CNNs*, which badly underutilize
+// these parts; the paper makes the same point ("data center-level GPUs
+// such as the V100 are not primarily designed for training small
+// models").
+type GPUModel struct {
+	Name string
+	// EffGflops is effective training throughput on small CNNs.
+	EffGflops float64
+	// PowerW is sustained board power during training.
+	PowerW float64
+	// BatchOverhead is the per-mini-batch launch overhead in seconds.
+	BatchOverhead float64
+}
+
+// V100 and A100 are the comparators used in Fig. 11, with effective
+// small-model throughput fitted so 60-SoC SoCFlow lands in the paper's
+// 0.80x-2.79x relative-speed band.
+var (
+	V100 = GPUModel{Name: "V100", EffGflops: 900, PowerW: 250, BatchOverhead: 0.004}
+	A100 = GPUModel{Name: "A100", EffGflops: 1500, PowerW: 300, BatchOverhead: 0.003}
+)
+
+// SoCGeneration scales the per-SoC silicon. Gen8650 is the Snapdragon
+// 865 of the evaluated server; Gen8Gen1 is the newer part compared
+// against the A100 in Fig. 11(b)/(d).
+type SoCGeneration struct {
+	Name string
+	// CPUGflops is effective FP32 training throughput.
+	CPUGflops float64
+	// NPUBoost multiplies each model's NPUSpeedup (newer NPUs widened
+	// the gap; §5 cites 18x from 865 to 8gen2).
+	NPUBoost float64
+}
+
+// Snapdragon generations available to experiments.
+var (
+	Gen865   = SoCGeneration{Name: "sd865", CPUGflops: SoCCPUGflops, NPUBoost: 1.0}
+	Gen8Gen1 = SoCGeneration{Name: "sd8gen1", CPUGflops: 13, NPUBoost: 1.8}
+)

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// TidalTrace models the diurnal utilization pattern of deployed
+// SoC-Clusters (§2.2, Fig. 3): user-triggered workloads (cloud gaming,
+// live streaming) peak in the afternoon and nearly vanish at night —
+// "the number of active game users from 11:00 to 17:00 is more than
+// one order of magnitude higher than 3:00 to 8:00".
+type TidalTrace struct {
+	// PeakBusy is the busy-SoC fraction at the daily peak (~0.85).
+	PeakBusy float64
+	// TroughBusy is the fraction at the nightly trough (~0.05).
+	TroughBusy float64
+}
+
+// DefaultTidalTrace reproduces the Fig. 3 shape.
+func DefaultTidalTrace() TidalTrace {
+	return TidalTrace{PeakBusy: 0.85, TroughBusy: 0.05}
+}
+
+// BusyFraction returns the expected fraction of busy SoCs at the given
+// hour of day in [0, 24). The shape is a raised cosine centered at
+// 14:30 (mid-afternoon peak) with a flattened nightly trough.
+func (tr TidalTrace) BusyFraction(hour float64) float64 {
+	hour = math.Mod(hour, 24)
+	if hour < 0 {
+		hour += 24
+	}
+	// Phase: 0 at 14.5h (peak), pi at 2.5h (trough).
+	phase := (hour - 14.5) / 24 * 2 * math.Pi
+	c := (math.Cos(phase) + 1) / 2 // 1 at peak, 0 at trough
+	// Sharpen so the trough is wide and flat like the measured trace.
+	c = math.Pow(c, 1.6)
+	return tr.TroughBusy + (tr.PeakBusy-tr.TroughBusy)*c
+}
+
+// HourlyProfile returns the 24 per-hour busy fractions, the series
+// plotted in Fig. 3.
+func (tr TidalTrace) HourlyProfile() []float64 {
+	out := make([]float64, 24)
+	for h := range out {
+		out[h] = tr.BusyFraction(float64(h) + 0.5)
+	}
+	return out
+}
+
+// IdleWindow returns the longest contiguous window (startHour, hours)
+// in which the expected busy fraction stays below threshold — the
+// nightly slot SoCFlow schedules training into ("a typical idle time
+// frame of a day (~4hrs)").
+func (tr TidalTrace) IdleWindow(threshold float64) (startHour, hours float64) {
+	const step = 0.1
+	bestStart, bestLen := 0.0, 0.0
+	curStart, curLen := -1.0, 0.0
+	// Scan two days so a window wrapping midnight is found intact.
+	for t := 0.0; t < 48; t += step {
+		if tr.BusyFraction(t) < threshold {
+			if curStart < 0 {
+				curStart, curLen = t, 0
+			}
+			curLen += step
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			curStart = -1
+		}
+		if curLen >= 24 {
+			break // always idle
+		}
+	}
+	if bestLen > 24 {
+		bestLen = 24
+	}
+	return math.Mod(bestStart, 24), bestLen
+}
+
+// BusySchedule samples, for each of n SoCs, whether it is busy with
+// user workloads in each of the 24 hours, matching the expected
+// per-hour busy fraction. It is the input to the co-location /
+// preemption experiments.
+func (tr TidalTrace) BusySchedule(n int, seed uint64) [][]bool {
+	r := tensor.NewRNG(seed)
+	out := make([][]bool, n)
+	profile := tr.HourlyProfile()
+	for i := range out {
+		out[i] = make([]bool, 24)
+		for h := range out[i] {
+			out[i][h] = r.Float64() < profile[h]
+		}
+	}
+	return out
+}
+
+// ThermalTrace samples per-SoC DVFS throttle factors for a training
+// session. Sustained training pushes mobile SoCs against their thermal
+// envelope; the DVFS governor underclocks hot chips, which is what
+// §4.1's underclocking-aware workload rebalancing reacts to. Each SoC
+// independently throttles with probability throttleProb per epoch, to
+// a factor uniform in [minFactor, 1).
+func ThermalTrace(n, epochs int, throttleProb, minFactor float64, seed uint64) [][]float64 {
+	if minFactor <= 0 || minFactor > 1 {
+		panic("cluster: ThermalTrace minFactor out of (0,1]")
+	}
+	r := tensor.NewRNG(seed)
+	out := make([][]float64, epochs)
+	for e := range out {
+		out[e] = make([]float64, n)
+		for s := range out[e] {
+			if r.Float64() < throttleProb {
+				out[e][s] = minFactor + (1-minFactor)*r.Float64()
+			} else {
+				out[e][s] = 1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+// Package collective implements the communication primitives that
+// distributed training strategies are assembled from: Ring-AllReduce,
+// parameter-server push/pull, hierarchical tree aggregation, and
+// broadcast — each in two coupled halves.
+//
+// The timing half prices a collective on the simulated SoC-Cluster by
+// generating the constituent network flows and running them through
+// simnet's contention-aware simulator (the fluid approximation of a
+// ring: every member continuously streams its 2(N-1)/N·S bytes to its
+// successor, which matches the phase-by-phase payload time on a
+// symmetric topology and composes correctly when multiple groups share
+// NICs).
+//
+// The math half performs the equivalent aggregation on real tensors so
+// the functional training track stays bit-faithful to what each
+// topology computes.
+package collective
+
+import (
+	"fmt"
+
+	"socflow/internal/cluster"
+	"socflow/internal/simnet"
+	"socflow/internal/tensor"
+)
+
+// ringStepOverhead is the per-ring-step software cost (chunk
+// bookkeeping, ack round-trip). Inter-PCB steps are costlier; fitted
+// alongside the Fig. 4(b) latencies.
+const (
+	ringStepOverheadIntra = 0.002
+	ringStepOverheadInter = 0.008
+)
+
+// RingFlows returns the fluid-approximation flows of one ring
+// all-reduce over members: member i streams 2(N-1)/N · bytes to its
+// ring successor. Callers combine flows from several groups to model
+// concurrent synchronization.
+func RingFlows(c *cluster.Cluster, members []int, bytes float64, startAt float64) []*simnet.Flow {
+	n := len(members)
+	if n < 2 {
+		return nil
+	}
+	payload := 2 * float64(n-1) / float64(n) * bytes
+	flows := make([]*simnet.Flow, 0, n)
+	for i, src := range members {
+		dst := members[(i+1)%n]
+		flows = append(flows, c.Flow(fmt.Sprintf("ring[%d->%d]", src, dst), src, dst, payload, startAt))
+	}
+	return flows
+}
+
+// ringOverhead returns the per-collective fixed costs: 2(N-1) step
+// overheads plus connection/tensor-registration setup when the group
+// spans PCBs (§2.3 measures ~1.3 s of preparation at 32 SoCs for
+// ResNet-18). Setup scales with payload — it is dominated by per-chunk
+// registration and staging — so compressed collectives (HiPress) pay
+// proportionally less.
+func ringOverhead(c *cluster.Cluster, members []int, bytes float64) float64 {
+	n := len(members)
+	if n < 2 {
+		return 0
+	}
+	spans := spansPCBs(c, members)
+	step := ringStepOverheadIntra
+	var setup float64
+	if spans {
+		step = ringStepOverheadInter
+		setup = cluster.SyncStartupPerSoC * float64(n) * 0.75 * setupSizeFactor(bytes)
+	}
+	return float64(2*(n-1))*step + setup
+}
+
+// setupSizeFactor scales collective setup cost with payload, anchored
+// to ResNet-18's ~55 MB (where the paper measured the 1.3 s prep).
+func setupSizeFactor(bytes float64) float64 {
+	f := bytes / 55e6
+	if f > 1 {
+		return 1
+	}
+	if f < 0.05 {
+		return 0.05
+	}
+	return f
+}
+
+func spansPCBs(c *cluster.Cluster, members []int) bool {
+	for _, m := range members[1:] {
+		if !c.SamePCB(members[0], m) {
+			return true
+		}
+	}
+	return false
+}
+
+// RingAllReduceTime returns the simulated wall time of one ring
+// all-reduce of `bytes` among members.
+func RingAllReduceTime(c *cluster.Cluster, members []int, bytes float64) float64 {
+	flows := RingFlows(c, members, bytes, 0)
+	if len(flows) == 0 {
+		return 0
+	}
+	return simnet.Simulate(flows) + ringOverhead(c, members, bytes)
+}
+
+// PSTime returns the simulated wall time of a parameter-server round:
+// every member pushes `bytes` of gradients to the server SoC, then
+// pulls `bytes` of fresh weights. The server's single NIC serializes
+// both directions — the paper's Fig. 4(b) shows this collapsing at
+// scale (20.6 s for VGG-11 at 32 SoCs).
+func PSTime(c *cluster.Cluster, members []int, server int, bytes float64) float64 {
+	var push []*simnet.Flow
+	for _, m := range members {
+		if m == server {
+			continue
+		}
+		push = append(push, c.Flow("ps.push", m, server, bytes, 0))
+	}
+	if len(push) == 0 {
+		return 0
+	}
+	t1 := simnet.Simulate(push)
+	var pull []*simnet.Flow
+	for _, m := range members {
+		if m == server {
+			continue
+		}
+		pull = append(pull, c.Flow("ps.pull", server, m, bytes, 0))
+	}
+	t2 := simnet.Simulate(pull)
+	overhead := 0.0
+	if spansPCBs(c, members) {
+		overhead = cluster.SyncStartupPerSoC * float64(len(members)) * 0.5 * setupSizeFactor(bytes)
+	}
+	return t1 + t2 + overhead
+}
+
+// TreeAggregateTime returns the simulated wall time of a hierarchical
+// aggregation (T-FedAvg, Jayaram et al.): members send to a per-PCB
+// relay, relays send to the root, and the result is broadcast back down
+// the same tree.
+func TreeAggregateTime(c *cluster.Cluster, members []int, root int, bytes float64) float64 {
+	relays := map[int]int{} // pcb -> relay SoC
+	for _, m := range members {
+		p := c.PCBOf(m)
+		if _, ok := relays[p]; !ok || m == root {
+			relays[p] = m
+		}
+	}
+	relays[c.PCBOf(root)] = root
+
+	var up1, up2, down1, down2 []*simnet.Flow
+	for _, m := range members {
+		r := relays[c.PCBOf(m)]
+		if m == r {
+			continue
+		}
+		up1 = append(up1, c.Flow("tree.leaf-up", m, r, bytes, 0))
+		down2 = append(down2, c.Flow("tree.leaf-down", r, m, bytes, 0))
+	}
+	for _, r := range relays {
+		if r == root {
+			continue
+		}
+		up2 = append(up2, c.Flow("tree.relay-up", r, root, bytes, 0))
+		down1 = append(down1, c.Flow("tree.relay-down", root, r, bytes, 0))
+	}
+	t := simnet.Simulate(up1) + simnet.Simulate(up2) + simnet.Simulate(down1) + simnet.Simulate(down2)
+	return t + cluster.SyncStartupPerSoC*float64(len(relays))
+}
+
+// BroadcastTime returns the simulated time to send `bytes` from src to
+// every destination concurrently (model/data dispatch by the global
+// scheduler).
+func BroadcastTime(c *cluster.Cluster, src int, dsts []int, bytes float64) float64 {
+	var flows []*simnet.Flow
+	for _, d := range dsts {
+		if d == src {
+			continue
+		}
+		flows = append(flows, c.Flow("bcast", src, d, bytes, 0))
+	}
+	if len(flows) == 0 {
+		return 0
+	}
+	return simnet.Simulate(flows)
+}
+
+// --- Math half -------------------------------------------------------
+
+// AverageInPlace overwrites every worker's tensor set with the
+// element-wise mean across workers — the semantic result of an
+// all-reduce-average. sets[w][k] is worker w's k-th tensor.
+func AverageInPlace(sets [][]*tensor.Tensor) {
+	if len(sets) == 0 {
+		return
+	}
+	k := len(sets[0])
+	inv := 1 / float32(len(sets))
+	for ti := 0; ti < k; ti++ {
+		acc := tensor.New(sets[0][ti].Shape...)
+		for _, set := range sets {
+			if len(set) != k {
+				panic("collective: ragged tensor sets")
+			}
+			tensor.AddInPlace(acc, set[ti])
+		}
+		tensor.Scale(inv, acc)
+		for _, set := range sets {
+			set[ti].CopyFrom(acc)
+		}
+	}
+}
+
+// WeightedAverageInPlace overwrites every worker's tensor set with the
+// weighted mean; weights must sum to a positive value (they are
+// normalized internally). FedAvg uses sample-count weights.
+func WeightedAverageInPlace(sets [][]*tensor.Tensor, weights []float64) {
+	if len(sets) == 0 {
+		return
+	}
+	if len(weights) != len(sets) {
+		panic("collective: weights/sets length mismatch")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("collective: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("collective: weights sum to zero")
+	}
+	k := len(sets[0])
+	for ti := 0; ti < k; ti++ {
+		acc := tensor.New(sets[0][ti].Shape...)
+		for wi, set := range sets {
+			tensor.Axpy(float32(weights[wi]/total), set[ti], acc)
+		}
+		for _, set := range sets {
+			set[ti].CopyFrom(acc)
+		}
+	}
+}
+
+// contentionPenalty models the goodput collapse when flows from
+// *different* collectives share a saturated link: max-min fair sharing
+// is the fluid optimum, but real TCP rings on shallow-buffer edge
+// switches suffer incast-style losses and retransmissions once
+// unrelated many-to-many patterns collide. The paper's planning stage
+// exists precisely to avoid this regime ("different CGs' intra-group
+// synchronization communicates separately in sequence to avoid network
+// contention"), and its Fig. 13 measures a 1.69-1.78x win from doing
+// so.
+const contentionPenalty = 1.8
+
+// ConcurrentRingTime returns the simulated wall time of several ring
+// all-reduces (one per group, same payload) running simultaneously —
+// exactly the situation SoCFlow's communication groups are designed
+// around: groups in one CG must not contend, and the planner uses this
+// primitive to price a CG window (or the contention when planning is
+// disabled). If the groups do contend — flows from two collectives
+// share a link — the contended portion pays contentionPenalty.
+func ConcurrentRingTime(c *cluster.Cluster, groups [][]int, bytes float64) float64 {
+	var flows []*simnet.Flow
+	var overhead float64
+	solo := 0.0
+	for _, members := range groups {
+		flows = append(flows, RingFlows(c, members, bytes, 0)...)
+		if o := ringOverhead(c, members, bytes); o > overhead {
+			overhead = o
+		}
+		if t := RingAllReduceTime(c, members, bytes); t > solo {
+			solo = t
+		}
+	}
+	if len(flows) == 0 {
+		return 0
+	}
+	combined := simnet.Simulate(flows) + overhead
+	// Contention detected: the combined makespan exceeds the slowest
+	// solo collective, meaning some link is shared across groups. The
+	// fluid result is the lower bound; real incast pushes it up.
+	if combined > solo*1.001 {
+		return solo + (combined-solo)*contentionPenalty
+	}
+	return combined
+}

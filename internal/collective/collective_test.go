@@ -1,0 +1,233 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"socflow/internal/cluster"
+	"socflow/internal/tensor"
+)
+
+func newCluster(n int) *cluster.Cluster {
+	return cluster.New(cluster.Config{NumSoCs: n})
+}
+
+func TestRingAllReduceIntraPCBCalibration(t *testing.T) {
+	// Fig. 4(b) anchor: 5-SoC intra-PCB ring with VGG-11's 42 MB payload
+	// took 540 ms; ResNet-18's 54.6 MB took 699 ms.
+	c := newCluster(5)
+	members := []int{0, 1, 2, 3, 4}
+	vgg := RingAllReduceTime(c, members, 42e6)
+	if vgg < 0.45 || vgg > 0.70 {
+		t.Fatalf("intra-PCB VGG ring = %v s, want ≈0.54", vgg)
+	}
+	r18 := RingAllReduceTime(c, members, 54.6e6)
+	if r18 < 0.60 || r18 > 0.90 {
+		t.Fatalf("intra-PCB ResNet ring = %v s, want ≈0.70", r18)
+	}
+	if r18 <= vgg {
+		t.Fatal("bigger payload must take longer")
+	}
+}
+
+func TestRingAllReduce32SoCSlower(t *testing.T) {
+	// Fig. 4(b): 32-SoC inter-PCB ring is 2.31x+ the intra-PCB one.
+	c := newCluster(32)
+	members := make([]int, 32)
+	for i := range members {
+		members[i] = i
+	}
+	inter := RingAllReduceTime(c, members, 42e6)
+	intra := RingAllReduceTime(c, []int{0, 1, 2, 3, 4}, 42e6)
+	if inter < 1.5*intra {
+		t.Fatalf("32-SoC ring (%v) should be well above intra-PCB (%v)", inter, intra)
+	}
+	if inter < 0.9 || inter > 3 {
+		t.Fatalf("32-SoC VGG ring = %v s, paper measures ≈1.25 s", inter)
+	}
+}
+
+func TestPSCollapsesAtScale(t *testing.T) {
+	// Fig. 4(b): PS at 32 SoCs took 20.6 s (VGG-11) — the server NIC
+	// serializes 2 x 31 x 42 MB.
+	c := newCluster(32)
+	members := make([]int, 32)
+	for i := range members {
+		members[i] = i
+	}
+	ps := PSTime(c, members, 0, 42e6)
+	if ps < 15 || ps > 28 {
+		t.Fatalf("32-SoC PS = %v s, want ≈20.6 s", ps)
+	}
+	ring := RingAllReduceTime(c, members, 42e6)
+	if ps < 5*ring {
+		t.Fatalf("PS (%v) should be far worse than ring (%v) at 32 SoCs", ps, ring)
+	}
+}
+
+func TestPSIntraPCBCalibration(t *testing.T) {
+	// Fig. 4(b): intra-PCB PS took 2.06 s for VGG-11 (5 SoCs).
+	c := newCluster(5)
+	ps := PSTime(c, []int{0, 1, 2, 3, 4}, 0, 42e6)
+	if ps < 1.6 || ps > 3.2 {
+		t.Fatalf("intra-PCB PS = %v s, want ≈2.06 s", ps)
+	}
+}
+
+func TestTreeBeatsPSAtScale(t *testing.T) {
+	c := newCluster(30)
+	members := make([]int, 30)
+	for i := range members {
+		members[i] = i
+	}
+	tree := TreeAggregateTime(c, members, 0, 42e6)
+	ps := PSTime(c, members, 0, 42e6)
+	if tree >= ps {
+		t.Fatalf("tree aggregation (%v) should beat flat PS (%v)", tree, ps)
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	c := newCluster(10)
+	if got := BroadcastTime(c, 0, []int{0}, 1e6); got != 0 {
+		t.Fatalf("self-broadcast = %v", got)
+	}
+	one := BroadcastTime(c, 0, []int{5}, 10e6)
+	many := BroadcastTime(c, 0, []int{5, 6, 7, 8, 9}, 10e6)
+	if many < 4*one {
+		t.Fatalf("broadcast to 5 over one uplink (%v) should be ~5x one (%v)", many, one)
+	}
+}
+
+func TestSmallGroupEdgeCases(t *testing.T) {
+	c := newCluster(4)
+	if got := RingAllReduceTime(c, []int{2}, 1e6); got != 0 {
+		t.Fatalf("1-member ring = %v, want 0", got)
+	}
+	if got := PSTime(c, []int{1}, 1, 1e6); got != 0 {
+		t.Fatalf("server-only PS = %v, want 0", got)
+	}
+}
+
+func TestAverageInPlace(t *testing.T) {
+	mk := func(v float32) []*tensor.Tensor {
+		return []*tensor.Tensor{tensor.Full(v, 2), tensor.Full(v*10, 3)}
+	}
+	sets := [][]*tensor.Tensor{mk(1), mk(3)}
+	AverageInPlace(sets)
+	for _, set := range sets {
+		if set[0].Data[0] != 2 || set[1].Data[0] != 20 {
+			t.Fatalf("average = %v / %v", set[0].Data, set[1].Data)
+		}
+	}
+}
+
+func TestWeightedAverageInPlace(t *testing.T) {
+	sets := [][]*tensor.Tensor{
+		{tensor.Full(0, 2)},
+		{tensor.Full(10, 2)},
+	}
+	WeightedAverageInPlace(sets, []float64{1, 3})
+	if sets[0][0].Data[0] != 7.5 {
+		t.Fatalf("weighted average = %v, want 7.5", sets[0][0].Data[0])
+	}
+}
+
+func TestWeightedAverageValidates(t *testing.T) {
+	sets := [][]*tensor.Tensor{{tensor.New(1)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weights must panic")
+		}
+	}()
+	WeightedAverageInPlace(sets, []float64{0})
+}
+
+// Property: all-reduce average equals the serial mean for random
+// worker tensors.
+func TestAverageMatchesSerialProperty(t *testing.T) {
+	root := tensor.NewRNG(5)
+	f := func(seed uint64) bool {
+		r := root.Split(seed)
+		workers := 2 + r.Intn(6)
+		n := 1 + r.Intn(20)
+		sets := make([][]*tensor.Tensor, workers)
+		want := make([]float64, n)
+		for w := range sets {
+			x := tensor.RandNormal(r, 0, 1, n)
+			for i, v := range x.Data {
+				want[i] += float64(v) / float64(workers)
+			}
+			sets[w] = []*tensor.Tensor{x}
+		}
+		AverageInPlace(sets)
+		for w := range sets {
+			for i := range want {
+				if math.Abs(float64(sets[w][0].Data[i])-want[i]) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKCompressorKeepsLargest(t *testing.T) {
+	c := NewTopKCompressor(0.25)
+	g := tensor.FromSlice([]float32{0.1, -5, 0.2, 3, 0.05, 0.01, 0.02, 0.03}, 8)
+	key := tensor.New(8)
+	sg := c.Compress(key, g)
+	if len(sg.Values) != 2 {
+		t.Fatalf("kept %d entries, want 2", len(sg.Values))
+	}
+	dense := sg.Dense()
+	if dense.Data[1] != -5 || dense.Data[3] != 3 {
+		t.Fatalf("top-k picked wrong entries: %v", dense.Data)
+	}
+}
+
+func TestTopKErrorFeedbackPreservesSignal(t *testing.T) {
+	// Entries not shipped now must be shipped later: after enough
+	// rounds with zero new gradient, the residual drains to zero.
+	c := NewTopKCompressor(0.25)
+	key := tensor.New(8)
+	g := tensor.FromSlice([]float32{8, 7, 6, 5, 4, 3, 2, 1}, 8)
+	total := tensor.New(8)
+	tensor.AddInPlace(total, c.Compress(key, g).Dense())
+	zero := tensor.New(8)
+	for i := 0; i < 3; i++ {
+		tensor.AddInPlace(total, c.Compress(key, zero).Dense())
+	}
+	for i := range g.Data {
+		if math.Abs(float64(total.Data[i]-g.Data[i])) > 1e-6 {
+			t.Fatalf("error feedback lost signal at %d: %v vs %v", i, total.Data[i], g.Data[i])
+		}
+	}
+	if c.ResidualNorm(key) > 1e-6 {
+		t.Fatalf("residual should be drained, norm = %v", c.ResidualNorm(key))
+	}
+}
+
+func TestTopKCompressedBytes(t *testing.T) {
+	c := NewTopKCompressor(0.01)
+	if got := c.CompressedBytes(1_000_000); got != 80_000 {
+		t.Fatalf("compressed bytes = %v, want 80000", got)
+	}
+	// Compression must beat dense FP32 by ~50x at ratio 0.01.
+	if dense, got := 4e6, c.CompressedBytes(1_000_000); dense/got < 40 {
+		t.Fatal("compression ratio too weak")
+	}
+}
+
+func TestTopKCompressorValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ratio must panic")
+		}
+	}()
+	NewTopKCompressor(0)
+}

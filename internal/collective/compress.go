@@ -1,0 +1,111 @@
+package collective
+
+import (
+	"sort"
+
+	"socflow/internal/tensor"
+)
+
+// SparseGrad is a top-k sparsified gradient: the k largest-magnitude
+// entries with their flat indices, as produced by Deep Gradient
+// Compression (Lin et al., the algorithm HiPress plugs in).
+type SparseGrad struct {
+	Shape   []int
+	Indices []int32
+	Values  []float32
+}
+
+// Bytes returns the wire size: 4 bytes per index plus 4 per value.
+func (s *SparseGrad) Bytes() int { return 8 * len(s.Values) }
+
+// Dense reconstitutes the sparse gradient as a dense tensor.
+func (s *SparseGrad) Dense() *tensor.Tensor {
+	t := tensor.New(s.Shape...)
+	for i, idx := range s.Indices {
+		t.Data[idx] = s.Values[i]
+	}
+	return t
+}
+
+// TopKCompressor implements DGC-style top-k sparsification with local
+// error feedback: entries not transmitted remain in a residual that is
+// added to the next gradient, so nothing is permanently lost — only
+// delayed. HiPress builds its compression-aware sync on this primitive.
+type TopKCompressor struct {
+	// Ratio is the fraction of entries kept (DGC uses 0.1%-1%; the
+	// HiPress baseline here uses 0.01 by default).
+	Ratio float64
+
+	residual map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewTopKCompressor creates a compressor keeping the given fraction.
+func NewTopKCompressor(ratio float64) *TopKCompressor {
+	if ratio <= 0 || ratio > 1 {
+		panic("collective: compression ratio out of (0,1]")
+	}
+	return &TopKCompressor{Ratio: ratio, residual: make(map[*tensor.Tensor]*tensor.Tensor)}
+}
+
+// Compress adds the stored residual for this gradient slot, extracts
+// the top-k entries by magnitude, retains the rest as the new residual,
+// and returns the sparse gradient. The key identifies the gradient slot
+// across iterations (use the parameter's gradient tensor).
+func (c *TopKCompressor) Compress(key, g *tensor.Tensor) *SparseGrad {
+	res, ok := c.residual[key]
+	if !ok {
+		res = tensor.New(g.Shape...)
+		c.residual[key] = res
+	}
+	tensor.AddInPlace(res, g) // accumulate: residual now holds full signal
+
+	k := int(c.Ratio * float64(res.Size()))
+	if k < 1 {
+		k = 1
+	}
+	if k > res.Size() {
+		k = res.Size()
+	}
+	idx := make([]int, res.Size())
+	for i := range idx {
+		idx[i] = i
+	}
+	// Select the k largest |value| indices.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := res.Data[idx[a]], res.Data[idx[b]]
+		if va < 0 {
+			va = -va
+		}
+		if vb < 0 {
+			vb = -vb
+		}
+		return va > vb
+	})
+	sg := &SparseGrad{Shape: append([]int(nil), res.Shape...)}
+	for _, i := range idx[:k] {
+		sg.Indices = append(sg.Indices, int32(i))
+		sg.Values = append(sg.Values, res.Data[i])
+		res.Data[i] = 0 // transmitted: clear from residual
+	}
+	return sg
+}
+
+// ResidualNorm returns the L2 norm of the stored residual for a slot
+// (0 if none), an observability hook used in tests and metrics.
+func (c *TopKCompressor) ResidualNorm(key *tensor.Tensor) float32 {
+	if res, ok := c.residual[key]; ok {
+		return res.L2Norm()
+	}
+	return 0
+}
+
+// CompressedBytes returns the total wire size of one worker's gradient
+// exchange under this compressor for a model with the given parameter
+// count — the payload HiPress ships instead of 4·params bytes.
+func (c *TopKCompressor) CompressedBytes(params int64) float64 {
+	k := c.Ratio * float64(params)
+	if k < 1 {
+		k = 1
+	}
+	return 8 * k
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"socflow/internal/cluster"
+	"socflow/internal/tensor"
+)
+
+// CheckpointStore persists checkpoints to a directory, one file per
+// epoch, written atomically (temp file + rename) so a preemption
+// mid-write never corrupts the latest good snapshot. This is the
+// on-SoC persistence behind §3's preemption design.
+type CheckpointStore struct {
+	dir string
+}
+
+// NewCheckpointStore creates (if needed) and opens a store directory.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+func (s *CheckpointStore) path(epoch int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("epoch-%06d.ckpt", epoch))
+}
+
+// Save writes the checkpoint atomically.
+func (s *CheckpointStore) Save(cp *Checkpoint) error {
+	tmp, err := os.CreateTemp(s.dir, "ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := cp.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(cp.Epoch))
+}
+
+// Latest loads the highest-epoch checkpoint, or (nil, nil) when the
+// store is empty.
+func (s *CheckpointStore) Latest() (*Checkpoint, error) {
+	names, err := s.list()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, names[len(names)-1]))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// Prune removes all but the newest keep checkpoints.
+func (s *CheckpointStore) Prune(keep int) error {
+	names, err := s.list()
+	if err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	for i := 0; i+keep < len(names); i++ {
+		if err := os.Remove(filepath.Join(s.dir, names[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *CheckpointStore) list() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".ckpt" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Campaign trains a job across multiple nightly idle windows — the
+// software-design problem §2.3 raises ("the extended training process
+// may occupy multiple idle time windows"). Each night the campaign
+// resumes from the latest checkpoint, trains epochs until the window's
+// simulated-time budget is spent, and checkpoints before handing the
+// SoCs back to user workloads. Optimizer momentum restarts each night,
+// as it would on a real resume.
+type Campaign struct {
+	// Strategy trains each night (its WarmStart field is managed by
+	// the campaign).
+	Strategy *SoCFlow
+	// Store persists progress between nights; nil keeps progress
+	// in-memory only (single-process campaigns).
+	Store *CheckpointStore
+	// WindowHours is the nightly idle budget in simulated hours
+	// (the paper's "typical idle time frame of a day (~4hrs)").
+	WindowHours float64
+	// MaxNights bounds the campaign (default 14).
+	MaxNights int
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	// Nights actually used.
+	Nights int
+	// EpochsPerNight records how many functional epochs fit each night.
+	EpochsPerNight []int
+	// BestAccuracy over the whole campaign.
+	BestAccuracy float64
+	// TotalSimHours is the simulated training time consumed.
+	TotalSimHours float64
+	// Converged reports whether the job's TargetAccuracy was reached.
+	Converged bool
+}
+
+// Run executes the campaign. The job's Epochs field is the total
+// functional-epoch budget; TargetAccuracy (if set) ends the campaign
+// early.
+func (c *Campaign) Run(job *Job, clu *cluster.Cluster) (*CampaignResult, error) {
+	if c.Strategy == nil {
+		return nil, fmt.Errorf("core: campaign needs a strategy")
+	}
+	if c.WindowHours <= 0 {
+		return nil, fmt.Errorf("core: campaign window %v h", c.WindowHours)
+	}
+	maxNights := c.MaxNights
+	if maxNights == 0 {
+		maxNights = 14
+	}
+
+	res := &CampaignResult{}
+	remaining := job.Epochs
+
+	var warm *Checkpoint
+	if c.Store != nil {
+		cp, err := c.Store.Latest()
+		if err != nil {
+			return nil, err
+		}
+		warm = cp
+	}
+	epochsDone := 0
+	if warm != nil {
+		epochsDone = warm.Epoch
+		remaining -= warm.Epoch
+	}
+
+	restore := func(night int) (*SoCFlow, error) {
+		strat := *c.Strategy
+		if warm != nil {
+			shell := job.BuildModel(tensor.NewRNG(job.Seed + uint64(night)*977))
+			warm.Restore(shell.Weights(), shell.StateTensors())
+			strat.WarmStart = shell
+		}
+		return &strat, nil
+	}
+
+	for night := 0; night < maxNights && remaining > 0 && !res.Converged; night++ {
+		budget := c.WindowHours * 3600
+		var used float64
+		fit := 0
+		for remaining > 0 && !res.Converged {
+			strat, err := restore(night)
+			if err != nil {
+				return nil, err
+			}
+			epochJob := *job
+			epochJob.Epochs = 1
+			// Vary the data order per global epoch; a fixed seed would
+			// replay the same shard split and batch order every night.
+			epochJob.Seed = job.Seed + uint64(epochsDone)*131
+			r, err := strat.Run(&epochJob, clu)
+			if err != nil {
+				return nil, err
+			}
+			et := r.SimSeconds
+			if fit > 0 && used+et > budget {
+				break // the next epoch does not fit tonight
+			}
+			used += et
+			fit++
+			remaining--
+			epochsDone++
+			if r.BestAccuracy > res.BestAccuracy {
+				res.BestAccuracy = r.BestAccuracy
+			}
+			warm = &Checkpoint{Epoch: epochsDone, Weights: r.FinalWeights, State: r.FinalState}
+			if job.TargetAccuracy > 0 && r.BestAccuracy >= job.TargetAccuracy {
+				res.Converged = true
+			}
+			if used >= budget {
+				break
+			}
+		}
+		res.Nights++
+		res.EpochsPerNight = append(res.EpochsPerNight, fit)
+		res.TotalSimHours += used / 3600
+		if c.Store != nil && warm != nil {
+			if err := c.Store.Save(warm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

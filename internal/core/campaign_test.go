@@ -1,0 +1,127 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointStoreSaveLatestPrune(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewCheckpointStore(filepath.Join(dir, "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp, err := store.Latest(); err != nil || cp != nil {
+		t.Fatalf("empty store Latest = %v, %v", cp, err)
+	}
+	r := tensorRNG(5)
+	model := testJob(t, 60, 1).BuildModel(r)
+	for e := 1; e <= 3; e++ {
+		model.Weights()[0].Fill(float32(e))
+		if err := store.Save(TakeCheckpoint(e, model.Weights(), model.StateTensors())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch != 3 || cp.Weights[0].Data[0] != 3 {
+		t.Fatalf("Latest = epoch %d value %v", cp.Epoch, cp.Weights[0].Data[0])
+	}
+	if err := store.Prune(1); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("after prune: %v", names)
+	}
+}
+
+func TestCampaignSpansNights(t *testing.T) {
+	job := testJob(t, 320, 8)
+	clu := clu32()
+	camp := &Campaign{
+		Strategy: &SoCFlow{NumGroups: 8, Mixed: MixedOff},
+		// One epoch of this job is ~21 simulated seconds; a window of
+		// 0.012 h (~43 s) fits two epochs per night.
+		WindowHours: 0.012,
+		MaxNights:   10,
+	}
+	res, err := camp.Run(job, clu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nights < 2 {
+		t.Fatalf("campaign finished in %d nights; the window should force several", res.Nights)
+	}
+	total := 0
+	for _, e := range res.EpochsPerNight {
+		if e < 1 {
+			t.Fatalf("a night trained %d epochs", e)
+		}
+		total += e
+	}
+	if total != 8 {
+		t.Fatalf("campaign trained %d epochs, want all 8", total)
+	}
+	if res.BestAccuracy < 0.3 {
+		t.Fatalf("campaign failed to learn across nights: %v", res.BestAccuracy)
+	}
+}
+
+func TestCampaignPersistsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(t, 240, 4)
+	clu := clu32()
+	mk := func() *Campaign {
+		return &Campaign{
+			Strategy:    &SoCFlow{NumGroups: 4, Mixed: MixedOff},
+			Store:       store,
+			WindowHours: 0.01,
+			MaxNights:   1, // one night per process "restart"
+		}
+	}
+	first, err := mk().Run(job, clu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Nights != 1 {
+		t.Fatalf("first run nights = %d", first.Nights)
+	}
+	cp, err := store.Latest()
+	if err != nil || cp == nil {
+		t.Fatalf("no checkpoint persisted: %v", err)
+	}
+	doneSoFar := cp.Epoch
+
+	second, err := mk().Run(job, clu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := store.Latest()
+	if err != nil || cp2 == nil {
+		t.Fatal("no checkpoint after resume")
+	}
+	if cp2.Epoch <= doneSoFar {
+		t.Fatalf("resume did not advance: %d -> %d", doneSoFar, cp2.Epoch)
+	}
+	_ = second
+}
+
+func TestCampaignValidation(t *testing.T) {
+	job := testJob(t, 60, 1)
+	if _, err := (&Campaign{WindowHours: 1}).Run(job, clu32()); err == nil {
+		t.Fatal("missing strategy must error")
+	}
+	if _, err := (&Campaign{Strategy: &SoCFlow{NumGroups: 2}}).Run(job, clu32()); err == nil {
+		t.Fatal("zero window must error")
+	}
+}

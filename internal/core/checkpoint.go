@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"socflow/internal/tensor"
+)
+
+// The paper's co-location design requires checkpoints that survive a
+// preempted SoC ("SoCFlow includes checkpoints on Mobile SoCs to ensure
+// that a new user-related workload request can preempt training
+// tasks"). This file provides the wire format: a small binary framing
+// over the checkpoint's tensors, written with encoding/binary so a
+// checkpoint taken on one SoC restores bit-identically on another.
+
+// checkpointMagic identifies the format; bump the version on layout
+// changes.
+const (
+	checkpointMagic   = 0x53464C57 // "SFLW"
+	checkpointVersion = 1
+)
+
+// WriteTo serializes the checkpoint. The format is:
+//
+//	magic u32 | version u32 | epoch i64 |
+//	nWeights u32 | tensors... | nState u32 | tensors...
+//
+// where each tensor is: rank u32 | dims u32... | data f32...
+func (cp *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	hdr := []uint32{checkpointMagic, checkpointVersion}
+	for _, v := range hdr {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	binary.Write(&buf, binary.LittleEndian, int64(cp.Epoch))
+	writeSet := func(set []*tensor.Tensor) {
+		binary.Write(&buf, binary.LittleEndian, uint32(len(set)))
+		for _, t := range set {
+			binary.Write(&buf, binary.LittleEndian, uint32(len(t.Shape)))
+			for _, d := range t.Shape {
+				binary.Write(&buf, binary.LittleEndian, uint32(d))
+			}
+			binary.Write(&buf, binary.LittleEndian, t.Data)
+		}
+	}
+	writeSet(cp.Weights)
+	writeSet(cp.State)
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteTo.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("core: not a SoCFlow checkpoint (magic %#x)", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", version)
+	}
+	var epoch int64
+	if err := binary.Read(r, binary.LittleEndian, &epoch); err != nil {
+		return nil, err
+	}
+	readSet := func() ([]*tensor.Tensor, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("core: implausible tensor count %d", n)
+		}
+		set := make([]*tensor.Tensor, n)
+		for i := range set {
+			var rank uint32
+			if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+				return nil, err
+			}
+			if rank > 8 {
+				return nil, fmt.Errorf("core: implausible tensor rank %d", rank)
+			}
+			shape := make([]int, rank)
+			size := 1
+			for d := range shape {
+				var dim uint32
+				if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+					return nil, err
+				}
+				shape[d] = int(dim)
+				size *= int(dim)
+			}
+			if size > 1<<28 {
+				return nil, fmt.Errorf("core: implausible tensor size %d", size)
+			}
+			t := tensor.New(shape...)
+			if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+				return nil, err
+			}
+			set[i] = t
+		}
+		return set, nil
+	}
+	cp := &Checkpoint{Epoch: int(epoch)}
+	var err error
+	if cp.Weights, err = readSet(); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint weights: %w", err)
+	}
+	if cp.State, err = readSet(); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint state: %w", err)
+	}
+	return cp, nil
+}
+
+// Bytes is a convenience that serializes to a fresh buffer.
+func (cp *Checkpoint) Bytes() []byte {
+	var buf bytes.Buffer
+	cp.WriteTo(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}

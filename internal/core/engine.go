@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"socflow/internal/cluster"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// Job describes one training job: the paper-scale model/dataset pair
+// that the performance track prices, and the micro functional
+// model/dataset the convergence track actually trains.
+type Job struct {
+	// Spec is the paper-scale model (communication volume, FLOPs).
+	Spec *nn.Spec
+	// Train and Val are the micro functional datasets.
+	Train, Val *dataset.Dataset
+	// PaperSamples is the paper-scale training-set size used to price
+	// an epoch (e.g. 50 000 for CIFAR-10).
+	PaperSamples int
+	// GlobalBatch is BS_g: the per-logical-group global batch size
+	// (64 for most models, 256 for MobileNet in the paper's eval).
+	GlobalBatch int
+	// PaperBatch is the batch size used by the performance track when
+	// the functional track must run a smaller batch to keep several
+	// iterations per micro epoch (0 = same as GlobalBatch).
+	PaperBatch int
+	// LR and Momentum configure SGD.
+	LR, Momentum float32
+	// LRSchedule optionally decays the learning rate per epoch (nil
+	// keeps LR constant).
+	LRSchedule nn.LRSchedule
+	// Epochs is the number of functional epochs to run.
+	Epochs int
+	// TargetAccuracy stops training early once validation accuracy
+	// reaches it (0 disables early stopping).
+	TargetAccuracy float64
+	// Seed makes the whole run reproducible.
+	Seed uint64
+}
+
+// PricingBatch returns the batch size the performance track prices
+// with: PaperBatch when set, else GlobalBatch.
+func (j *Job) PricingBatch() int {
+	if j.PaperBatch > 0 {
+		return j.PaperBatch
+	}
+	return j.GlobalBatch
+}
+
+// EpochLR returns the learning rate for an epoch under the job's
+// schedule (or the base LR).
+func (j *Job) EpochLR(epoch int) float32 {
+	if j.LRSchedule != nil {
+		return j.LRSchedule.LR(epoch)
+	}
+	return j.LR
+}
+
+// BuildModel constructs a fresh micro model replica for this job.
+func (j *Job) BuildModel(r *tensor.RNG) *nn.Sequential {
+	return j.Spec.BuildMicro(r, j.Train.Channels(), j.Train.ImageSize(), j.Train.Classes)
+}
+
+// Validate checks the job for obvious misconfiguration.
+func (j *Job) Validate() error {
+	switch {
+	case j.Spec == nil:
+		return fmt.Errorf("core: job has no model spec")
+	case j.Train == nil || j.Val == nil:
+		return fmt.Errorf("core: job has no data")
+	case j.GlobalBatch <= 0:
+		return fmt.Errorf("core: global batch %d", j.GlobalBatch)
+	case j.Epochs <= 0:
+		return fmt.Errorf("core: epochs %d", j.Epochs)
+	case j.LR <= 0:
+		return fmt.Errorf("core: learning rate %v", j.LR)
+	case j.PaperSamples <= 0:
+		return fmt.Errorf("core: paper samples %d", j.PaperSamples)
+	}
+	return nil
+}
+
+// Breakdown splits simulated time into the Fig. 12 categories.
+type Breakdown struct {
+	// Compute is gradient computation time.
+	Compute float64
+	// Sync is gradient/weight synchronization (network) time.
+	Sync float64
+	// Update is optimizer parameter-update time.
+	Update float64
+}
+
+// Total returns the sum of the components.
+func (b Breakdown) Total() float64 { return b.Compute + b.Sync + b.Update }
+
+// Result captures everything an experiment needs from one run.
+type Result struct {
+	// Strategy is the name of the strategy that produced the result.
+	Strategy string
+	// EpochAccuracies is validation accuracy after each functional
+	// epoch.
+	EpochAccuracies []float64
+	// FinalAccuracy is the last epoch's validation accuracy; Best is
+	// the maximum seen.
+	FinalAccuracy, BestAccuracy float64
+	// SimSeconds is the simulated wall time of the epochs actually run
+	// (paper-scale compute and communication).
+	SimSeconds float64
+	// EpochSimSeconds is the simulated time of each epoch.
+	EpochSimSeconds []float64
+	// EnergyJ is the fleet energy in joules over SimSeconds.
+	EnergyJ float64
+	// Breakdown attributes SimSeconds to compute/sync/update.
+	Breakdown Breakdown
+	// EpochsToTarget is the 1-based functional epoch at which
+	// TargetAccuracy was first reached (0 = never).
+	EpochsToTarget int
+	// SimSecondsToTarget is the simulated time up to that epoch.
+	SimSecondsToTarget float64
+	// Preemptions counts logical-group preemptions served (co-location
+	// experiments).
+	Preemptions int
+	// FinalWeights and FinalState are deep copies of the trained
+	// model's tensors (populated by SoCFlow.Run), so callers — notably
+	// the multi-night Campaign — can checkpoint and warm-start.
+	FinalWeights, FinalState []*tensor.Tensor
+}
+
+// observe appends an epoch observation and handles target bookkeeping.
+func (r *Result) observe(acc float64, epochTime float64, target float64) {
+	r.EpochAccuracies = append(r.EpochAccuracies, acc)
+	r.EpochSimSeconds = append(r.EpochSimSeconds, epochTime)
+	r.SimSeconds += epochTime
+	r.FinalAccuracy = acc
+	if acc > r.BestAccuracy {
+		r.BestAccuracy = acc
+	}
+	if target > 0 && r.EpochsToTarget == 0 && acc >= target {
+		r.EpochsToTarget = len(r.EpochAccuracies)
+		r.SimSecondsToTarget = r.SimSeconds
+	}
+}
+
+// done reports whether early stopping should trigger.
+func (r *Result) done(target float64) bool {
+	return target > 0 && r.EpochsToTarget > 0
+}
+
+// MeanEpochSimSeconds returns the average simulated epoch time.
+func (r *Result) MeanEpochSimSeconds() float64 {
+	if len(r.EpochSimSeconds) == 0 {
+		return 0
+	}
+	return r.SimSeconds / float64(len(r.EpochSimSeconds))
+}
+
+// Strategy is a distributed training method (SoCFlow or a baseline).
+type Strategy interface {
+	// Name returns the display name used in experiment tables.
+	Name() string
+	// Run trains the job on the cluster and reports the result.
+	Run(job *Job, clu *cluster.Cluster) (*Result, error)
+}
+
+// evalAccuracy computes validation accuracy of a model in eval mode,
+// batching to bound peak memory.
+func evalAccuracy(model *nn.Sequential, val *dataset.Dataset) float64 {
+	const bs = 64
+	correct, total := 0, 0
+	for lo := 0; lo < val.Len(); lo += bs {
+		hi := lo + bs
+		if hi > val.Len() {
+			hi = val.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, labels := val.Batch(idx)
+		logits := model.Forward(x, false)
+		preds := tensor.ArgmaxRows(logits)
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		total += len(labels)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// overlapFraction is the share of a gradient transfer that layer-wise
+// computing-communication overlap (§4.1 optimization 1) hides behind
+// the backward pass that produces the gradients: deep-layer gradients
+// ship while shallow layers still compute, so only the first layers'
+// worth of transfer serializes.
+const overlapFraction = 0.75
+
+// updateTimePerStep models the optimizer's parameter update: reading
+// and writing weights, gradients, and momentum over LPDDR5 at an
+// effective ~20 GB/s.
+func updateTimePerStep(spec *nn.Spec) float64 {
+	const bytesPerParam = 12 // w + g + momentum, read-modify-write
+	return float64(spec.Params) * bytesPerParam / 20e9
+}

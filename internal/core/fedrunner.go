@@ -1,0 +1,131 @@
+package core
+
+import (
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// FedSGD is the shared engine behind the federated baselines (FedAvg
+// and tree-aggregated T-FedAvg): every SoC is an independent client
+// that trains locally for LocalEpochs passes over its fixed shard, then
+// the server aggregates weighted model averages once per round. No
+// per-batch synchronization and no cross-client data movement — which
+// is exactly what buys FL its low communication and costs it gradient
+// staleness (the paper's Table 3 shows 2-6% accuracy loss and Fig. 10
+// shows more rounds to the same target).
+type FedSGD struct {
+	// StrategyName labels results ("FedAvg", "T-FedAvg").
+	StrategyName string
+	// AggTime prices one aggregation round across the fleet.
+	AggTime func(clu *cluster.Cluster, spec *nn.Spec) float64
+	// LocalEpochs is the number of local passes per round (default 1,
+	// FedAvg's E parameter).
+	LocalEpochs int
+	// Clients caps the number of functional clients (default: one per
+	// SoC).
+	Clients int
+	// DirichletAlpha, when positive, shards client data non-IID with
+	// per-class Dirichlet(alpha) proportions instead of IID — the
+	// standard FL heterogeneity benchmark. FL clients keep their shard
+	// for the whole run, so skew compounds round after round.
+	DirichletAlpha float64
+}
+
+// Name implements Strategy.
+func (s *FedSGD) Name() string { return s.StrategyName }
+
+// Run implements Strategy.
+func (s *FedSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	m := clu.Config.NumSoCs
+	clients := s.Clients
+	if clients <= 0 || clients > m {
+		clients = m
+	}
+	localEpochs := s.LocalEpochs
+	if localEpochs <= 0 {
+		localEpochs = 1
+	}
+
+	root := tensor.NewRNG(job.Seed)
+	ref := job.BuildModel(root)
+	var shards []*dataset.Dataset
+	if s.DirichletAlpha > 0 {
+		shards = job.Train.ShardDirichlet(clients, s.DirichletAlpha, job.Seed+1)
+	} else {
+		shards = job.Train.ShardIID(clients, job.Seed+1)
+	}
+	models := make([]*nn.Sequential, clients)
+	opts := make([]*nn.SGD, clients)
+	weights := make([]float64, clients)
+	for c := 0; c < clients; c++ {
+		models[c] = job.BuildModel(root.Split(uint64(c) + 5))
+		models[c].CopyWeightsFrom(ref)
+		opts[c] = nn.NewSGD(job.LR, job.Momentum, 0)
+		weights[c] = float64(shards[c].Len())
+	}
+
+	// Client batch: FL clients use their own mini-batch, bounded by the
+	// shard. We reuse the job's global batch as the local batch, the
+	// configuration the paper's IID FedAvg baseline uses.
+	clientBatch := job.GlobalBatch
+	res := &Result{Strategy: s.Name()}
+	meter := cluster.NewEnergyMeter(m)
+
+	// Pricing: clients train in parallel; a round costs the slowest
+	// client's local epochs plus one aggregation.
+	paperShard := job.PaperSamples / m
+	if paperShard < 1 {
+		paperShard = 1
+	}
+	pricingBatch := job.PricingBatch()
+	localIters := (paperShard + pricingBatch - 1) / pricingBatch * localEpochs
+	computeT := clu.StepTime(0, job.Spec, pricingBatch, cluster.CPU)
+	aggT := s.AggTime(clu, job.Spec)
+	upd := updateTimePerStep(job.Spec)
+	roundT := float64(localIters)*(computeT+upd) + aggT
+
+	for round := 0; round < job.Epochs; round++ {
+		lr := job.EpochLR(round)
+		for c := 0; c < clients; c++ {
+			opts[c].LR = lr
+			it := dataset.NewBatchIterator(shards[c], min(clientBatch, shards[c].Len()), job.Seed+uint64(1000*round+c))
+			steps := it.BatchesPerEpoch() * localEpochs
+			for i := 0; i < steps; i++ {
+				x, labels := it.Next()
+				plainStep(models[c], opts[c], x, labels)
+			}
+		}
+
+		// Server-side weighted model averaging (FedAvg).
+		sets := make([][]*tensor.Tensor, clients)
+		states := make([][]*tensor.Tensor, clients)
+		for c := range models {
+			sets[c] = models[c].Weights()
+			states[c] = models[c].StateTensors()
+		}
+		collective.WeightedAverageInPlace(sets, weights)
+		collective.AverageInPlace(states)
+
+		for soc := 0; soc < m; soc++ {
+			meter.AddCompute(soc, float64(localIters)*computeT, cluster.CPU)
+			meter.AddComm(soc, aggT)
+		}
+		res.Breakdown.Compute += float64(localIters) * computeT * float64(m)
+		res.Breakdown.Sync += aggT * float64(m)
+		res.Breakdown.Update += float64(localIters) * upd * float64(m)
+
+		acc := evalAccuracy(models[0], job.Val)
+		res.observe(acc, roundT, job.TargetAccuracy)
+		if res.done(job.TargetAccuracy) {
+			break
+		}
+	}
+	res.EnergyJ = meter.Total()
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/nn"
+)
+
+// EpochTimeModel evaluates Eq. 1 of the paper: the per-epoch wall time
+// for m SoCs divided into n logical groups, each group training with
+// global batch size bsG:
+//
+//	T_epoch = NUM_sample / (N·BS_g) · (T_train^{BS_g} · N/M + T_sync)
+//
+// where T_train is the compute time of one group batch on a single SoC
+// (so T_train·N/M spreads it over the group's M/N members) and T_sync
+// is one intra-group synchronization. The delayed inter-group
+// aggregation adds one leader all-reduce per epoch.
+func EpochTimeModel(clu *cluster.Cluster, spec *nn.Spec, samples, m, n, bsG int) float64 {
+	if n <= 0 || m <= 0 || n > m || bsG <= 0 {
+		panic(fmt.Sprintf("core: EpochTimeModel m=%d n=%d bs=%d", m, n, bsG))
+	}
+	iters := float64(samples) / float64(n*bsG)
+	groupSize := m / n
+	perSoCBatch := (bsG + groupSize - 1) / groupSize
+	tTrain := clu.StepTime(0, spec, perSoCBatch, cluster.CPU)
+
+	mapping := IntegrityGreedyMap(m, n, clu.Config.SoCsPerPCB)
+	tSync := 0.0
+	if groupSize > 1 {
+		tSync = collective.RingAllReduceTime(clu, mapping.Groups[0], float64(spec.GradBytes()))
+	}
+	epoch := iters * (tTrain + tSync)
+	// Delayed aggregation: one leader ring per epoch.
+	if n > 1 {
+		leaders := make([]int, n)
+		for g := range leaders {
+			leaders[g] = mapping.Groups[g][0]
+		}
+		epoch += collective.RingAllReduceTime(clu, leaders, float64(spec.GradBytes()))
+	}
+	return epoch
+}
+
+// GroupSizeProbe reports the first-epoch training accuracy when the
+// job is run with the given number of logical groups. The engine
+// provides an implementation; tests stub it.
+type GroupSizeProbe func(numGroups int) (firstEpochAccuracy float64, err error)
+
+// SelectGroupCount implements the paper's warm-up heuristic for the
+// group count N: first-epoch accuracy tracks convergence accuracy
+// (Fig. 6), so profile N = 1, 2, 4, ... up to maxGroups and stop just
+// before the first N whose first-epoch accuracy collapses by more than
+// dropThreshold (the paper uses "significantly, typically to around
+// 15%") relative to N = 1. Larger N means faster epochs (Eq. 1), so
+// the largest safe N wins.
+func SelectGroupCount(maxGroups int, dropThreshold float64, probe GroupSizeProbe) (int, error) {
+	if maxGroups < 1 {
+		return 0, fmt.Errorf("core: maxGroups %d < 1", maxGroups)
+	}
+	if dropThreshold <= 0 || dropThreshold >= 1 {
+		return 0, fmt.Errorf("core: dropThreshold %v out of (0,1)", dropThreshold)
+	}
+	base, err := probe(1)
+	if err != nil {
+		return 0, err
+	}
+	best := 1
+	for n := 2; n <= maxGroups; n *= 2 {
+		acc, err := probe(n)
+		if err != nil {
+			return 0, err
+		}
+		if base-acc > dropThreshold*base {
+			break
+		}
+		best = n
+	}
+	return best, nil
+}
+
+// AutoGroupCount runs the full warm-up heuristic end to end: it trains
+// one functional epoch of the job at each candidate group count
+// (1, 2, 4, ... up to maxGroups and the SoC count) and applies
+// SelectGroupCount's knee rule. This is the "optional heuristic
+// approach" §3.1 describes; production deployments may instead fix N
+// empirically.
+func AutoGroupCount(job *Job, clu *cluster.Cluster, maxGroups int, dropThreshold float64) (int, error) {
+	if maxGroups > clu.Config.NumSoCs {
+		maxGroups = clu.Config.NumSoCs
+	}
+	probe := func(n int) (float64, error) {
+		probeJob := *job
+		probeJob.Epochs = 1
+		probeJob.TargetAccuracy = 0
+		res, err := (&SoCFlow{NumGroups: n, Mixed: MixedOff}).Run(&probeJob, clu)
+		if err != nil {
+			return 0, err
+		}
+		return res.EpochAccuracies[0], nil
+	}
+	return SelectGroupCount(maxGroups, dropThreshold, probe)
+}

@@ -1,0 +1,133 @@
+package core
+
+// Plan is the communication schedule: logical groups partitioned into
+// communication groups (CGs). Groups inside one CG have no pairwise NIC
+// conflict and synchronize simultaneously; distinct CGs synchronize in
+// sequence, pipelined against compute (Fig. 7).
+type Plan struct {
+	// CGs[i] lists the logical-group indices of communication group i,
+	// in schedule order.
+	CGs [][]int
+}
+
+// NumCGs returns the number of communication groups.
+func (p *Plan) NumCGs() int { return len(p.CGs) }
+
+// CGOf returns the communication group index of logical group g.
+func (p *Plan) CGOf(g int) int {
+	for i, cg := range p.CGs {
+		for _, lg := range cg {
+			if lg == g {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// PlanCommunication divides the mapping's logical groups into the
+// minimum number of communication groups. The conflict graph of an
+// integrity-greedy mapping has maximum degree 2 (Theorem 2) and — being
+// a 1-D packing — is a union of paths, so a DFS 2-coloring is optimal
+// (the paper reduces this to minimum bipartite graph coloring). The
+// implementation is a general greedy-on-DFS coloring: it yields 2 CGs
+// on bipartite conflict graphs and degrades gracefully (≤Δ+1 colors)
+// if a caller feeds it an arbitrary mapping.
+func PlanCommunication(m *Mapping) *Plan {
+	adj := m.ConflictGraph()
+	n := len(m.Groups)
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+
+	var dfs func(g int)
+	dfs = func(g int) {
+		used := map[int]bool{}
+		for _, nb := range adj[g] {
+			if color[nb] >= 0 {
+				used[color[nb]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[g] = c
+		for _, nb := range adj[g] {
+			if color[nb] < 0 {
+				dfs(nb)
+			}
+		}
+	}
+	// Color split (conflicting) groups first via DFS from each
+	// component; contained groups conflict with nobody and land in
+	// color 0.
+	for g := 0; g < n; g++ {
+		if color[g] < 0 && len(adj[g]) > 0 {
+			dfs(g)
+		}
+	}
+	for g := 0; g < n; g++ {
+		if color[g] < 0 {
+			color[g] = 0
+		}
+	}
+
+	maxC := 0
+	for _, c := range color {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	p := &Plan{CGs: make([][]int, maxC+1)}
+	for g, c := range color {
+		p.CGs[c] = append(p.CGs[c], g)
+	}
+	return p
+}
+
+// Valid reports whether the plan is conflict-free: no two groups in the
+// same CG are adjacent in the mapping's conflict graph.
+func (p *Plan) Valid(m *Mapping) bool {
+	adj := m.ConflictGraph()
+	for _, cg := range p.CGs {
+		in := map[int]bool{}
+		for _, g := range cg {
+			in[g] = true
+		}
+		for _, g := range cg {
+			for _, nb := range adj[g] {
+				if in[nb] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// PipelineIterationTime returns the steady-state wall time of one
+// training iteration under the Fig. 7 interleaved schedule, given each
+// group's compute time and each CG's (concurrent) synchronization time.
+//
+// With k CGs synchronized in sequence, a group in CG i observes a
+// period of compute + ownSync when the NIC is never the bottleneck; the
+// NIC itself needs ΣS_j per iteration. Steady-state period is the
+// maximum of the two — the paper's hiding condition ("communication can
+// be totally hidden as long as the computing is slower than the
+// communication", with k ≤ 2) falls out of this expression.
+func PipelineIterationTime(compute float64, cgSync []float64) float64 {
+	var nic float64
+	var worst float64
+	for _, s := range cgSync {
+		nic += s
+		if compute+s > worst {
+			worst = compute + s
+		}
+	}
+	if nic > worst {
+		return nic
+	}
+	return worst
+}

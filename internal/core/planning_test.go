@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"socflow/internal/cluster"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+func TestPlanPaperExample(t *testing.T) {
+	// Fig. 5(c)/§3.1: LG1-4 form one CG, LG5 another — the two split
+	// groups (LG4, LG5) share PCB2 and must separate; whole groups join
+	// the first CG.
+	m := IntegrityGreedyMap(15, 5, 5)
+	p := PlanCommunication(m)
+	if p.NumCGs() != 2 {
+		t.Fatalf("got %d CGs, want 2", p.NumCGs())
+	}
+	if !p.Valid(m) {
+		t.Fatal("plan has intra-CG conflicts")
+	}
+	// The two split groups must be in different CGs.
+	var split []int
+	for g := range m.Groups {
+		if m.Split(g) {
+			split = append(split, g)
+		}
+	}
+	if len(split) != 2 {
+		t.Fatalf("expected 2 split groups, got %v", split)
+	}
+	if p.CGOf(split[0]) == p.CGOf(split[1]) {
+		t.Fatal("conflicting split groups share a CG")
+	}
+}
+
+func TestPlanConflictFreeMappingSingleCG(t *testing.T) {
+	m := IntegrityGreedyMap(20, 4, 5)
+	p := PlanCommunication(m)
+	if p.NumCGs() != 1 {
+		t.Fatalf("conflict-free mapping should need 1 CG, got %d", p.NumCGs())
+	}
+}
+
+func TestCGOfUnknownGroup(t *testing.T) {
+	p := &Plan{CGs: [][]int{{0, 1}}}
+	if p.CGOf(7) != -1 {
+		t.Fatal("unknown group should map to -1")
+	}
+}
+
+// Property: planning an integrity-greedy mapping always yields a valid
+// plan with at most 2 CGs (the paper's bipartite-coloring guarantee).
+func TestPlanAtMostTwoCGsProperty(t *testing.T) {
+	root := tensor.NewRNG(41)
+	f := func(seed uint64) bool {
+		r := root.Split(seed)
+		m := 4 + r.Intn(60)
+		n := 1 + r.Intn(m)
+		pcb := 2 + r.Intn(7)
+		mp := IntegrityGreedyMap(m, n, pcb)
+		p := PlanCommunication(mp)
+		return p.Valid(mp) && p.NumCGs() <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every group lands in exactly one CG.
+func TestPlanPartitionProperty(t *testing.T) {
+	root := tensor.NewRNG(43)
+	f := func(seed uint64) bool {
+		r := root.Split(seed)
+		m := 4 + r.Intn(40)
+		n := 1 + r.Intn(m)
+		mp := IntegrityGreedyMap(m, n, 5)
+		p := PlanCommunication(mp)
+		seen := map[int]int{}
+		for _, cg := range p.CGs {
+			for _, g := range cg {
+				seen[g]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineIterationTimeHiding(t *testing.T) {
+	// Compute slower than the other CG's sync: sync fully hidden, the
+	// period is compute + own sync.
+	got := PipelineIterationTime(1.0, []float64{0.3, 0.4})
+	if math.Abs(got-1.4) > 1e-9 {
+		t.Fatalf("hidden case = %v, want 1.4", got)
+	}
+	// NIC-bound: syncs exceed compute; the NIC serializes.
+	got = PipelineIterationTime(0.1, []float64{0.5, 0.6})
+	if math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("NIC-bound case = %v, want 1.1", got)
+	}
+	// Single CG: plain compute + sync.
+	got = PipelineIterationTime(0.5, []float64{0.2})
+	if math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("single CG = %v, want 0.7", got)
+	}
+}
+
+func TestEpochTimeModelDecreasesWithGroups(t *testing.T) {
+	// Eq. 1: T_epoch is negatively correlated with N (§3.1).
+	clu := cluster.New(cluster.Config{NumSoCs: 32})
+	spec := nn.MustSpec("vgg11")
+	t1 := EpochTimeModel(clu, spec, 50000, 32, 1, 64)
+	t4 := EpochTimeModel(clu, spec, 50000, 32, 4, 64)
+	t8 := EpochTimeModel(clu, spec, 50000, 32, 8, 64)
+	if !(t8 < t4 && t4 < t1) {
+		t.Fatalf("epoch time must fall with more groups: N=1 %v, N=4 %v, N=8 %v", t1, t4, t8)
+	}
+}
+
+func TestEpochTimeModelValidates(t *testing.T) {
+	clu := cluster.New(cluster.Config{NumSoCs: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args must panic")
+		}
+	}()
+	EpochTimeModel(clu, nn.MustSpec("vgg11"), 1000, 8, 0, 64)
+}
+
+func TestSelectGroupCountStopsAtKnee(t *testing.T) {
+	// Synthetic Fig. 6 profile: fine through N=4, collapses at N=8.
+	probe := func(n int) (float64, error) {
+		switch {
+		case n <= 4:
+			return 0.60 - 0.02*float64(n), nil
+		default:
+			return 0.15, nil
+		}
+	}
+	got, err := SelectGroupCount(32, 0.5, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("selected N=%d, want 4", got)
+	}
+}
+
+func TestSelectGroupCountAllGood(t *testing.T) {
+	probe := func(n int) (float64, error) { return 0.6, nil }
+	got, err := SelectGroupCount(16, 0.5, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Fatalf("selected N=%d, want 16 (largest probed)", got)
+	}
+}
+
+func TestSelectGroupCountValidates(t *testing.T) {
+	probe := func(n int) (float64, error) { return 0.5, nil }
+	if _, err := SelectGroupCount(0, 0.5, probe); err == nil {
+		t.Fatal("maxGroups 0 must error")
+	}
+	if _, err := SelectGroupCount(8, 0, probe); err == nil {
+		t.Fatal("threshold 0 must error")
+	}
+	if _, err := SelectGroupCount(8, 1, probe); err == nil {
+		t.Fatal("threshold 1 must error")
+	}
+}

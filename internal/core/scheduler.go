@@ -1,0 +1,136 @@
+package core
+
+import (
+	"socflow/internal/cluster"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// PreemptionPlan records, per epoch, which logical groups are handed
+// back to user workloads. SoCFlow's co-location story (§3, Fig. 1):
+// when a user request arrives during training, the global scheduler
+// checkpoints and terminates one *logical group* — not the whole job —
+// so training continues on the remaining groups with reduced
+// throughput and unchanged convergence semantics.
+type PreemptionPlan struct {
+	// ByEpoch maps epoch index -> logical-group indices preempted for
+	// that epoch.
+	ByEpoch map[int][]int
+}
+
+// preempted reports whether group g sits out the given epoch.
+func (p *PreemptionPlan) preempted(g, epoch int) bool {
+	if p == nil {
+		return false
+	}
+	for _, pg := range p.ByEpoch[epoch] {
+		if pg == g {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanFromTrace derives a preemption plan from a tidal busy schedule:
+// in each training epoch (mapped onto the given hours of day), a
+// logical group is preempted when most of its SoCs are busy with user
+// workloads.
+func PlanFromTrace(m *Mapping, sched [][]bool, startHour int, epochs int) *PreemptionPlan {
+	plan := &PreemptionPlan{ByEpoch: make(map[int][]int)}
+	for e := 0; e < epochs; e++ {
+		hour := (startHour + e) % 24
+		for g, members := range m.Groups {
+			busy := 0
+			for _, soc := range members {
+				if soc < len(sched) && sched[soc][hour] {
+					busy++
+				}
+			}
+			if busy*2 > len(members) {
+				plan.ByEpoch[e] = append(plan.ByEpoch[e], g)
+			}
+		}
+	}
+	return plan
+}
+
+// GlobalScheduler is the control-board component (§3, Fig. 5(a)): it
+// sizes groups, owns the mapping and plan, watches for underclocking,
+// and rebalances per-SoC batch shares when a chip throttles.
+type GlobalScheduler struct {
+	Cluster *cluster.Cluster
+	Mapping *Mapping
+	Plan    *Plan
+}
+
+// NewGlobalScheduler wires a scheduler for a mapped cluster.
+func NewGlobalScheduler(clu *cluster.Cluster, m *Mapping) *GlobalScheduler {
+	return &GlobalScheduler{Cluster: clu, Mapping: m, Plan: PlanCommunication(m)}
+}
+
+// RebalanceShares returns per-member batch fractions for a logical
+// group, proportional to each SoC's current effective speed (its DVFS
+// throttle). With SSGD the group's step finishes when its slowest
+// member does, so the underclocking-aware rebalance (§4.1 optimization
+// 2) equalizes member step times instead of member batch sizes.
+func (gs *GlobalScheduler) RebalanceShares(group int) []float64 {
+	members := gs.Mapping.Groups[group]
+	shares := make([]float64, len(members))
+	var total float64
+	for i, soc := range members {
+		shares[i] = gs.Cluster.SoCs[soc].Throttle
+		total += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	return shares
+}
+
+// GroupStepTime returns the group's SSGD step time for a per-group
+// batch under the given shares (slowest member dominates).
+func (gs *GlobalScheduler) GroupStepTime(group int, spec *nn.Spec, batch int, shares []float64) float64 {
+	members := gs.Mapping.Groups[group]
+	worst := 0.0
+	for i, soc := range members {
+		b := int(shares[i]*float64(batch) + 0.5)
+		if b < 1 {
+			b = 1
+		}
+		if t := gs.Cluster.StepTime(soc, spec, b, cluster.CPU); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Checkpoint is a serializable snapshot of a group's training state,
+// taken before a preemption so the group can resume in the next idle
+// window.
+type Checkpoint struct {
+	Epoch   int
+	Weights []*tensor.Tensor
+	State   []*tensor.Tensor
+}
+
+// TakeCheckpoint deep-copies the group's tensors.
+func TakeCheckpoint(epoch int, weights, state []*tensor.Tensor) *Checkpoint {
+	cp := &Checkpoint{Epoch: epoch}
+	for _, w := range weights {
+		cp.Weights = append(cp.Weights, w.Clone())
+	}
+	for _, s := range state {
+		cp.State = append(cp.State, s.Clone())
+	}
+	return cp
+}
+
+// Restore copies the snapshot back into live tensors.
+func (cp *Checkpoint) Restore(weights, state []*tensor.Tensor) {
+	for i, w := range weights {
+		w.CopyFrom(cp.Weights[i])
+	}
+	for i, s := range state {
+		s.CopyFrom(cp.State[i])
+	}
+}

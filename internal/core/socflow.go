@@ -1,0 +1,539 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// MixedMode selects the on-SoC processor usage (§3.2 and the Fig. 14
+// ablation variants).
+type MixedMode int
+
+// Mixed-precision variants.
+const (
+	// MixedAuto is full SoCFlow: CPU share = max(e^−α, 1−β).
+	MixedAuto MixedMode = iota
+	// MixedOff trains FP32 on the CPU only ("Ours-FP32").
+	MixedOff
+	// MixedINT8Only trains INT8 on the NPU only ("Ours-INT8").
+	MixedINT8Only
+	// MixedHalf fixes the split at 50/50 ("Ours-Half").
+	MixedHalf
+)
+
+// String implements fmt.Stringer.
+func (m MixedMode) String() string {
+	switch m {
+	case MixedAuto:
+		return "mixed-auto"
+	case MixedOff:
+		return "fp32"
+	case MixedINT8Only:
+		return "int8"
+	case MixedHalf:
+		return "half"
+	default:
+		return fmt.Sprintf("mixed(%d)", int(m))
+	}
+}
+
+// SoCFlow is the paper's strategy: group-wise parallelism with delayed
+// aggregation plus data-parallel mixed-precision training. The Disable*
+// flags exist for the Fig. 13 ablation ladder.
+type SoCFlow struct {
+	// NumGroups is the logical-group count N (the paper's evaluation
+	// uses 8 logical groups of 4 SoCs at M=32). It must divide into at
+	// least 1 SoC per group.
+	NumGroups int
+	// Mixed selects the processor mode (default MixedAuto).
+	Mixed MixedMode
+	// DisableMapping replaces integrity-greedy mapping with a strided
+	// placement that maximizes PCB crossings (ablation "+Group" only).
+	DisableMapping bool
+	// DisablePlanning puts every logical group in one communication
+	// group so their syncs contend (ablation "+Mapping" without
+	// "+Plan").
+	DisablePlanning bool
+	// DisableReshuffle keeps each group pinned to its initial shard,
+	// degenerating toward federated behaviour across groups.
+	DisableReshuffle bool
+	// AlphaProbeBatch is the validation probe size for Eq. 4 (default
+	// 32).
+	AlphaProbeBatch int
+	// ForceShare fixes the CPU share to a constant in (0,1] instead of
+	// the α/β controller (0 keeps the controller; used by ablations).
+	ForceShare float64
+	// Preempt optionally injects user-workload arrivals (co-location);
+	// see scheduler.go.
+	Preempt *PreemptionPlan
+	// WarmStart seeds every replica from this model's weights instead
+	// of fresh initialization — the transfer-learning entry point
+	// (Table 2's ResNet50-Finetune scenario).
+	WarmStart *nn.Sequential
+	// DisableRebalance turns off underclocking-aware workload
+	// rebalancing (§4.1 optimization 2): member batch shares then stay
+	// equal and a throttled SoC drags its whole group.
+	DisableRebalance bool
+	// Thermal optionally applies per-epoch DVFS throttle factors
+	// (Thermal[epoch][soc], from cluster.ThermalTrace) before the
+	// epoch is priced, driving the underclocking-aware rebalancing.
+	Thermal [][]float64
+	// DirichletAlpha, when positive, makes the *initial* shards non-IID
+	// (per-class Dirichlet proportions). Unlike federated learning,
+	// SoCFlow reshuffles data across groups every epoch (§3.1), so the
+	// skew washes out after the first epoch — unless DisableReshuffle
+	// is also set.
+	DirichletAlpha float64
+}
+
+// Name implements Strategy.
+func (s *SoCFlow) Name() string { return "SoCFlow" }
+
+// groupTrainer is the functional state of one logical group. Because
+// every SoC in a group runs SSGD with per-batch ring synchronization,
+// the group is mathematically a single model trained with the group's
+// global batch (TestSSGDGroupLiftEquivalence verifies this exactly);
+// the mixed-precision CPU/NPU pair is therefore lifted to one
+// FP32+INT8 replica pair per group. The only approximation is
+// batch-norm statistics, which the lift estimates from the combined
+// batch instead of per-member shards — strictly *more* stable than the
+// real system.
+type groupTrainer struct {
+	mp    *MixedPrecision // nil when plain FP32
+	model *nn.Sequential  // plain FP32 path
+	opt   *nn.SGD
+	it    *dataset.BatchIterator
+	shard *dataset.Dataset
+}
+
+func (g *groupTrainer) weights() []*tensor.Tensor {
+	if g.mp != nil {
+		return g.mp.Weights()
+	}
+	return g.model.Weights()
+}
+
+func (g *groupTrainer) state() []*tensor.Tensor {
+	if g.mp != nil {
+		return g.mp.FP32.StateTensors()
+	}
+	return g.model.StateTensors()
+}
+
+func (g *groupTrainer) evalModel() *nn.Sequential {
+	if g.mp != nil {
+		return g.mp.FP32
+	}
+	return g.model
+}
+
+// Run implements Strategy.
+func (s *SoCFlow) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	m := clu.Config.NumSoCs
+	n := s.NumGroups
+	if n <= 0 {
+		return nil, fmt.Errorf("core: SoCFlow needs NumGroups >= 1 (use SelectGroupCount to size it)")
+	}
+	if n > m {
+		return nil, fmt.Errorf("core: %d groups for %d SoCs", n, m)
+	}
+
+	// §3.1 steps 1-3: group, map, plan.
+	var mapping *Mapping
+	if s.DisableMapping {
+		mapping = stridedMap(m, n, clu.Config.SoCsPerPCB)
+	} else {
+		mapping = IntegrityGreedyMap(m, n, clu.Config.SoCsPerPCB)
+	}
+	var plan *Plan
+	if s.DisablePlanning {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		plan = &Plan{CGs: [][]int{all}}
+	} else {
+		plan = PlanCommunication(mapping)
+	}
+
+	probeBatch := s.AlphaProbeBatch
+	if probeBatch == 0 {
+		probeBatch = 32
+	}
+
+	// Functional state per group.
+	root := tensor.NewRNG(job.Seed)
+	ref := job.BuildModel(root)
+	if s.WarmStart != nil {
+		ref.CopyWeightsFrom(s.WarmStart)
+	}
+	groups := make([]*groupTrainer, n)
+	var shards []*dataset.Dataset
+	if s.DirichletAlpha > 0 {
+		shards = job.Train.ShardDirichlet(n, s.DirichletAlpha, job.Seed+1)
+	} else {
+		shards = job.Train.ShardIID(n, job.Seed+1)
+	}
+	beta := clu.ComputeRatio(mapping.Groups[0][0], job.Spec, job.PricingBatch())
+	for g := 0; g < n; g++ {
+		rng := root.Split(uint64(g) + 10)
+		gt := &groupTrainer{shard: shards[g]}
+		if s.Mixed == MixedOff {
+			gt.model = job.BuildModel(rng)
+			gt.model.CopyWeightsFrom(ref)
+			gt.opt = nn.NewSGD(job.LR, job.Momentum, 0)
+		} else {
+			build := func() *nn.Sequential { return job.BuildModel(rng.Split(1)) }
+			gt.mp = NewMixedPrecision(ref, build, job.LR, job.Momentum, beta, rng)
+			switch s.Mixed {
+			case MixedINT8Only:
+				gt.mp.ForceCPUShare = 0
+			case MixedHalf:
+				gt.mp.ForceCPUShare = 0.5
+			}
+			if s.ForceShare > 0 {
+				gt.mp.ForceCPUShare = s.ForceShare
+			}
+		}
+		gt.it = dataset.NewBatchIterator(gt.shard, job.GlobalBatch, job.Seed+100+uint64(g))
+		groups[g] = gt
+	}
+
+	res := &Result{Strategy: s.Name()}
+	meter := cluster.NewEnergyMeter(m)
+	tl := newTimeline(s, job, clu, mapping, plan)
+
+	for epoch := 0; epoch < job.Epochs; epoch++ {
+		active := s.activeGroups(n, epoch, res)
+
+		// Apply this epoch's DVFS throttle trace (if any).
+		if epoch < len(s.Thermal) {
+			for soc, f := range s.Thermal[epoch] {
+				if soc < m && f > 0 && f <= 1 {
+					clu.SetThrottle(soc, f)
+				}
+			}
+		}
+
+		// Per-epoch learning-rate schedule.
+		lr := job.EpochLR(epoch)
+		for _, g := range active {
+			if groups[g].mp != nil {
+				groups[g].mp.SetLR(lr)
+			} else {
+				groups[g].opt.LR = lr
+			}
+		}
+
+		// Functional training: each active group walks its shard once.
+		iters := groups[active[0]].it.BatchesPerEpoch()
+		for i := 0; i < iters; i++ {
+			for _, g := range active {
+				gt := groups[g]
+				x, labels := gt.it.Next()
+				if gt.mp != nil {
+					gt.mp.Step(x, labels)
+				} else {
+					plainStep(gt.model, gt.opt, x, labels)
+				}
+			}
+		}
+
+		// Performance track first: the epoch must be priced with the α
+		// that governed its data split, before EndEpoch refreshes it.
+		epochTime := tl.epochTime(groups, active, meter)
+
+		// End of the intra-group epoch: refresh α from the replicas'
+		// divergence and merge them per Eq. 5 (§3.2).
+		for _, g := range active {
+			if groups[g].mp != nil {
+				groups[g].mp.EndEpoch(job.Val, probeBatch)
+			}
+		}
+
+		// Delayed aggregation across groups (per epoch): average the
+		// merged weights, then requantize the INT8 replicas.
+		if len(active) > 1 {
+			sets := make([][]*tensor.Tensor, 0, len(active))
+			states := make([][]*tensor.Tensor, 0, len(active))
+			for _, g := range active {
+				sets = append(sets, groups[g].weights())
+				states = append(states, groups[g].state())
+			}
+			collective.AverageInPlace(sets)
+			collective.AverageInPlace(states)
+			for _, g := range active {
+				if groups[g].mp != nil {
+					groups[g].mp.AdoptMerged()
+				}
+			}
+		}
+
+		// Cross-group data reshuffle (unlike FL; §3.1).
+		if !s.DisableReshuffle {
+			all := make([]*dataset.Dataset, n)
+			for g := range groups {
+				all[g] = groups[g].shard
+			}
+			fresh := dataset.Reshuffle(all, job.Seed+1000+uint64(epoch))
+			for g := range groups {
+				groups[g].shard = fresh[g]
+				groups[g].it = dataset.NewBatchIterator(fresh[g], job.GlobalBatch, job.Seed+2000+uint64(epoch)*uint64(n)+uint64(g))
+			}
+		}
+
+		acc := evalAccuracy(groups[active[0]].evalModel(), job.Val)
+		res.observe(acc, epochTime, job.TargetAccuracy)
+		if res.done(job.TargetAccuracy) {
+			break
+		}
+	}
+	res.EnergyJ = meter.Total()
+	res.Breakdown = tl.breakdown
+	res.Preemptions = tl.preemptions
+	for _, w := range groups[0].weights() {
+		res.FinalWeights = append(res.FinalWeights, w.Clone())
+	}
+	for _, st := range groups[0].state() {
+		res.FinalState = append(res.FinalState, st.Clone())
+	}
+	return res, nil
+}
+
+// activeGroups returns the logical groups training this epoch,
+// honouring the preemption plan (a preempted group checkpoints and
+// sits the epoch out; §3: "SoCFlow only needs to terminate a logical
+// group of SoCs").
+func (s *SoCFlow) activeGroups(n, epoch int, res *Result) []int {
+	var out []int
+	for g := 0; g < n; g++ {
+		if s.Preempt != nil && s.Preempt.preempted(g, epoch) {
+			continue
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		// Never preempt every group: the scheduler keeps at least one.
+		out = append(out, 0)
+	}
+	return out
+}
+
+// plainStep runs a standard FP32 SGD step.
+func plainStep(model *nn.Sequential, opt *nn.SGD, x *tensor.Tensor, labels []int) float32 {
+	model.ZeroGrad()
+	logits := model.Forward(x, true)
+	loss, g := nn.SoftmaxCrossEntropy(logits, labels)
+	model.Backward(g)
+	opt.Step(model.Params())
+	return loss
+}
+
+// stridedMap places group members round-robin across PCBs — the
+// worst-case mapping the Fig. 13 ablation compares integrity-greedy
+// against (every group crosses every PCB).
+func stridedMap(m, n, socsPerPCB int) *Mapping {
+	groups := make([][]int, n)
+	for s := 0; s < m; s++ {
+		g := s % n
+		groups[g] = append(groups[g], s)
+	}
+	// Spread members: member k of group g = g + k*n (round robin), so
+	// consecutive members land on different PCBs whenever n and
+	// socsPerPCB are not aligned.
+	return &Mapping{Groups: groups, SoCsPerPCB: socsPerPCB}
+}
+
+// timeline prices SoCFlow epochs on the simulated cluster.
+type timeline struct {
+	job     *Job
+	clu     *cluster.Cluster
+	mapping *Mapping
+	plan    *Plan
+	s       *SoCFlow
+
+	breakdown   Breakdown
+	preemptions int
+}
+
+func newTimeline(s *SoCFlow, job *Job, clu *cluster.Cluster, mapping *Mapping, plan *Plan) *timeline {
+	return &timeline{job: job, clu: clu, mapping: mapping, plan: plan, s: s}
+}
+
+// epochTime advances the simulated clock by one epoch under the Fig. 7
+// interleaved schedule and charges the energy meter.
+func (tl *timeline) epochTime(groups []*groupTrainer, active []int, meter *cluster.EnergyMeter) float64 {
+	job, clu := tl.job, tl.clu
+	nAll := len(tl.mapping.Groups)
+	payload := float64(job.Spec.GradBytes())
+
+	// Paper-scale iterations per epoch (Eq. 1 numerator).
+	iters := job.PaperSamples / (len(active) * job.PricingBatch())
+	if iters < 1 {
+		iters = 1
+	}
+	upd := updateTimePerStep(job.Spec)
+
+	// Per-group compute time for one iteration.
+	compute := make([]float64, nAll)
+	cpuSec := make([]float64, nAll)
+	npuSec := make([]float64, nAll)
+	activeSet := map[int]bool{}
+	for _, g := range active {
+		activeSet[g] = true
+	}
+	for _, g := range active {
+		members := tl.mapping.Groups[g]
+		// Underclocking-aware rebalancing (§4.1 optimization 2): member
+		// batch shares follow each SoC's DVFS throttle so the SSGD step
+		// finishes together; disabled, every member gets an equal share
+		// and the slowest (most throttled) SoC sets the pace.
+		shares := make([]float64, len(members))
+		if tl.s.DisableRebalance {
+			for i := range shares {
+				shares[i] = 1 / float64(len(members))
+			}
+		} else {
+			var total float64
+			for i, soc := range members {
+				shares[i] = clu.SoCs[soc].Throttle
+				total += shares[i]
+			}
+			for i := range shares {
+				shares[i] /= total
+			}
+		}
+		batchTotal := job.PricingBatch()
+		for i, soc := range members {
+			perSoC := int(shares[i]*float64(batchTotal) + 0.5)
+			if perSoC < 1 {
+				perSoC = 1
+			}
+			var ct, cs, ns float64
+			if mp := groups[g].mp; mp != nil {
+				share := mp.CPUShare()
+				cpuN := int(math.Round(share * float64(perSoC)))
+				npuN := perSoC - cpuN
+				ct = clu.SplitStepTime(soc, job.Spec, cpuN, npuN)
+				cs = clu.StepTime(soc, job.Spec, cpuN, cluster.CPU)
+				ns = clu.StepTime(soc, job.Spec, npuN, cluster.NPU)
+			} else {
+				ct = clu.StepTime(soc, job.Spec, perSoC, cluster.CPU)
+				cs = ct
+			}
+			// SSGD: the group's step finishes when its slowest member
+			// does; energy follows each member's own busy time (use the
+			// first member's profile as the group representative for
+			// the per-member meter below).
+			if ct > compute[g] {
+				compute[g] = ct
+			}
+			if i == 0 {
+				cpuSec[g], npuSec[g] = cs, ns
+			}
+		}
+	}
+
+	// Per-CG concurrent sync time (only active groups communicate).
+	cgSync := make([]float64, len(tl.plan.CGs))
+	for i, cg := range tl.plan.CGs {
+		var memberSets [][]int
+		for _, g := range cg {
+			if activeSet[g] && len(tl.mapping.Groups[g]) > 1 {
+				memberSets = append(memberSets, tl.mapping.Groups[g])
+			}
+		}
+		cgSync[i] = collective.ConcurrentRingTime(clu, memberSets, payload)
+	}
+
+	// Event-driven interleaved schedule (Fig. 7): CG windows serialize
+	// on the shared NICs; compute of the next iteration overlaps other
+	// CGs' windows; and layer-wise gradient aggregation (§4.1
+	// optimization 1) lets a group's own sync start while its backward
+	// pass is still producing gradients, hiding an overlapFraction of
+	// the compute behind the transfer.
+	ready := make([]float64, len(tl.plan.CGs))
+	nicFree := 0.0
+	var syncBusy float64
+	for it := 0; it < iters; it++ {
+		for i, cg := range tl.plan.CGs {
+			maxCompute := 0.0
+			for _, g := range cg {
+				if !activeSet[g] {
+					continue
+				}
+				if c := compute[g]; c > maxCompute {
+					maxCompute = c
+				}
+			}
+			// Sync may begin once the first gradients emerge from the
+			// backward pass; the group itself is ready again when both
+			// its compute and its CG's sync window have finished.
+			syncReady := ready[i] + (1-overlapFraction)*(maxCompute+upd)
+			start := math.Max(syncReady, nicFree)
+			end := start + cgSync[i]
+			nicFree = end
+			ready[i] = math.Max(end, ready[i]+maxCompute+upd)
+			syncBusy += cgSync[i]
+		}
+	}
+	span := 0.0
+	for _, r := range ready {
+		if r > span {
+			span = r
+		}
+	}
+
+	// Delayed inter-group aggregation: leader ring + intra-group
+	// broadcast of fresh weights.
+	var interSync float64
+	if len(active) > 1 {
+		leaders := make([]int, 0, len(active))
+		for _, g := range active {
+			leaders = append(leaders, tl.mapping.Groups[g][0])
+		}
+		interSync = collective.RingAllReduceTime(clu, leaders, payload)
+		var bMax float64
+		for _, g := range active {
+			members := tl.mapping.Groups[g]
+			if b := collective.BroadcastTime(clu, members[0], members, payload); b > bMax {
+				bMax = b
+			}
+		}
+		interSync += bMax
+	}
+	span += interSync
+
+	// Attribution and energy. Compute/update charge per iteration; sync
+	// charges the group's CG window; the rest of the span is idle.
+	fIters := float64(iters)
+	for _, g := range active {
+		members := tl.mapping.Groups[g]
+		cgi := tl.plan.CGOf(g)
+		commT := fIters*cgSync[cgi] + interSync
+		for _, soc := range members {
+			meter.AddMixedCompute(soc, fIters*cpuSec[g], fIters*npuSec[g])
+			meter.AddComm(soc, commT)
+			idle := span - fIters*compute[g] - commT
+			if idle > 0 {
+				meter.AddIdle(soc, idle)
+			}
+		}
+		tl.breakdown.Compute += fIters * compute[g] * float64(len(members))
+		tl.breakdown.Sync += commT * float64(len(members))
+		tl.breakdown.Update += fIters * upd * float64(len(members))
+	}
+	if tl.s.Preempt != nil {
+		tl.preemptions += len(tl.mapping.Groups) - len(active)
+	}
+	return span
+}

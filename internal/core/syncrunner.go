@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// SyncSGD is the shared engine behind the fully synchronous baselines
+// (PS, Ring-AllReduce, HiPress, 2D parallelism): all M SoCs act as one
+// data-parallel worker pool that synchronizes every batch, so the
+// functional computation is exactly single-model SGD on the global
+// batch — which is why the paper's Table 3 shows identical convergence
+// accuracy for these four baselines. They differ only in how the
+// per-iteration synchronization and compute are priced, and in the
+// optional gradient compression.
+type SyncSGD struct {
+	// StrategyName labels results ("PS", "RING", ...).
+	StrategyName string
+	// SyncTime prices one per-batch synchronization across the fleet.
+	SyncTime func(clu *cluster.Cluster, spec *nn.Spec) float64
+	// ComputeTime prices one iteration of per-SoC gradient computation;
+	// nil uses plain CPU FP32 on batch/M samples.
+	ComputeTime func(clu *cluster.Cluster, spec *nn.Spec, batch int) float64
+	// ComputeOverhead adds a fixed per-iteration cost (HiPress top-k
+	// selection).
+	ComputeOverhead float64
+	// Compressor, when set, passes the aggregate gradient through
+	// DGC-style top-k with error feedback before the optimizer step.
+	Compressor *collective.TopKCompressor
+}
+
+// Name implements Strategy.
+func (s *SyncSGD) Name() string { return s.StrategyName }
+
+// Run implements Strategy.
+func (s *SyncSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	m := clu.Config.NumSoCs
+	root := tensor.NewRNG(job.Seed)
+	model := job.BuildModel(root)
+	opt := nn.NewSGD(job.LR, job.Momentum, 0)
+	it := dataset.NewBatchIterator(job.Train, job.GlobalBatch, job.Seed+100)
+
+	res := &Result{Strategy: s.Name()}
+	meter := cluster.NewEnergyMeter(m)
+
+	// Per-iteration pricing is constant across the run.
+	perSoCBatch := job.PricingBatch() / m
+	if perSoCBatch < 1 {
+		perSoCBatch = 1
+	}
+	var computeT float64
+	if s.ComputeTime != nil {
+		computeT = s.ComputeTime(clu, job.Spec, job.PricingBatch())
+	} else {
+		computeT = clu.StepTime(0, job.Spec, perSoCBatch, cluster.CPU)
+	}
+	computeT += s.ComputeOverhead
+	syncT := s.SyncTime(clu, job.Spec)
+	upd := updateTimePerStep(job.Spec)
+	// Layer-wise overlap (§4.1, applied to every baseline "if
+	// applicable"): the gradient transfer hides behind the backward
+	// pass that produces it.
+	iterT := math.Max(computeT+upd, (1-overlapFraction)*computeT+syncT)
+	paperIters := job.PaperSamples / job.PricingBatch()
+	if paperIters < 1 {
+		paperIters = 1
+	}
+	epochT := float64(paperIters) * iterT
+
+	for epoch := 0; epoch < job.Epochs; epoch++ {
+		opt.LR = job.EpochLR(epoch)
+		iters := it.BatchesPerEpoch()
+		for i := 0; i < iters; i++ {
+			x, labels := it.Next()
+			model.ZeroGrad()
+			logits := model.Forward(x, true)
+			_, g := nn.SoftmaxCrossEntropy(logits, labels)
+			model.Backward(g)
+			if s.Compressor != nil {
+				for _, p := range model.Params() {
+					sg := s.Compressor.Compress(p.Grad, p.Grad.Clone())
+					p.Grad.CopyFrom(sg.Dense())
+				}
+			}
+			opt.Step(model.Params())
+		}
+
+		for soc := 0; soc < m; soc++ {
+			meter.AddCompute(soc, float64(paperIters)*computeT, cluster.CPU)
+			meter.AddComm(soc, float64(paperIters)*syncT)
+		}
+
+		res.Breakdown.Compute += float64(paperIters) * computeT * float64(m)
+		res.Breakdown.Sync += float64(paperIters) * syncT * float64(m)
+		res.Breakdown.Update += float64(paperIters) * upd * float64(m)
+
+		acc := evalAccuracy(model, job.Val)
+		res.observe(acc, epochT, job.TargetAccuracy)
+		if res.done(job.TargetAccuracy) {
+			break
+		}
+	}
+	res.EnergyJ = meter.Total()
+	return res, nil
+}
+
+// AllSoCs returns [0, 1, ..., n-1], the member list for fleet-wide
+// collectives.
+func AllSoCs(clu *cluster.Cluster) []int {
+	out := make([]int, clu.Config.NumSoCs)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+
+	"socflow/internal/cluster"
+	"socflow/internal/core"
+)
+
+// ExpFig4c regenerates Fig. 4(c): converged accuracy of pure-FP32
+// training versus pure-INT8 training at 32 SoCs, showing the
+// distributed INT8 degradation that motivates mixed precision.
+func ExpFig4c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	t := &Table{
+		Title:  "Fig. 4(c) — Convergence accuracy, FP32 vs INT8 at 32 SoCs (%)",
+		Header: []string{"model", "cpu_fp32", "npu_int8", "gap_pts"},
+		Notes:  []string{"paper: INT8 loses 5.94 (VGG-11) and 8.25 (ResNet-18) pct-pts"},
+	}
+	for _, sc := range []Scenario{
+		{Label: "VGG-11", Model: "vgg11", Dataset: "cifar10", GlobalBatch: 64},
+		{Label: "ResNet-18", Model: "resnet18", Dataset: "cifar10", GlobalBatch: 64},
+	} {
+		job := jobFor(sc, o)
+		fp, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}).Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		i8, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedINT8Only}).Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sc.Label, 100*fp.BestAccuracy, 100*i8.BestAccuracy, 100*(fp.BestAccuracy-i8.BestAccuracy))
+	}
+	return t, nil
+}
+
+// ExpFig6 regenerates Fig. 6: converged accuracy and first-epoch
+// accuracy across logical-group counts — the observation behind the
+// group-size heuristic (first-epoch accuracy mirrors convergence).
+func ExpFig6(model string, o Options) (*Table, error) {
+	o = o.withDefaults()
+	clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 6 — Accuracy vs group number (%s, %%)", model),
+		Header: []string{"groups", "final_acc", "first_epoch_acc"},
+		Notes: []string{
+			"paper: accuracy collapses past the knee (N=4 for VGG-11, N=8 for ResNet-18); the warm-up heuristic stops there",
+		},
+	}
+	sc := Scenario{Label: model, Model: model, Dataset: "cifar10", GlobalBatch: 64}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		if n > o.NumSoCs {
+			break
+		}
+		job := jobFor(sc, o)
+		res, err := (&core.SoCFlow{NumGroups: n, Mixed: core.MixedOff}).Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, 100*res.BestAccuracy, 100*res.EpochAccuracies[0])
+	}
+	return t, nil
+}
+
+// ExpFig12 regenerates Fig. 12: the compute/sync/update breakdown of
+// training time for SoCFlow and the communication-bound baselines.
+func ExpFig12(model string, o Options) (*Table, error) {
+	if o.Groups == 0 {
+		o.Groups = 8 // size-4 groups: the compute-competitive regime of Fig. 12
+	}
+	o = o.withDefaults()
+	clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 12 — Training-time breakdown (%s, %% of total)", model),
+		Header: []string{"strategy", "compute_pct", "sync_pct", "update_pct"},
+		Notes: []string{
+			"paper: RING sync ~81%, HiPress ~76.5%, 2D-Paral ~71.5%, FedAvg 16.5-34.7%, SoCFlow ~46%",
+		},
+	}
+	sc := Scenario{Label: model, Model: model, Dataset: "cifar10", GlobalBatch: 64}
+	job := jobFor(sc, o)
+	strategies := strategyGrid(o)
+	// The paper's Fig. 12 panels show Ours, RING, HiPress, 2D-Paral,
+	// FedAvg.
+	keep := map[string]bool{"SoCFlow": true, "RING": true, "HiPress": true, "2D-Paral": true, "FedAvg": true}
+	for _, strat := range strategies {
+		if !keep[strat.Name()] {
+			continue
+		}
+		res, err := strat.Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		b := res.Breakdown
+		total := b.Total()
+		if total == 0 {
+			total = 1
+		}
+		t.AddRow(strat.Name(), 100*b.Compute/total, 100*b.Sync/total, 100*b.Update/total)
+	}
+	return t, nil
+}
+
+// ExpFig13 regenerates Fig. 13: the ablation ladder from bare
+// Ring-AllReduce through +Group, +Mapping, +Plan, +Mixed, reporting
+// extrapolated hours per variant.
+func ExpFig13(model string, o Options) (*Table, error) {
+	if o.Groups == 0 {
+		o.Groups = 4 // size-8 logical groups: every group splits across
+		// PCBs, so the mapping and planning rungs have real contention
+		// to remove (the paper's 2-CG configuration).
+	}
+	o = o.withDefaults()
+	clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 13 — Ablation of the hierarchical aggregation (%s, hours)", model),
+		Header: []string{"variant", "hours", "speedup_vs_prev", "energy_kj"},
+		Notes: []string{
+			"paper: +Group 8-57% faster, +Mapping 1.05-1.10x, +Plan 1.69-1.78x, +Mixed 3.53-5.78x",
+			"at the paper's size-8 groups the 1 Gbps NIC floors per-iteration time, so +Mixed shows mainly in energy here; on compute-bound configs (smaller groups, Fig. 11) it shows in time too",
+		},
+	}
+	sc := Scenario{Label: model, Model: model, Dataset: "cifar10", GlobalBatch: 64}
+	job := jobFor(sc, o)
+
+	variants := []struct {
+		name  string
+		strat core.Strategy
+	}{
+		{"RING", ringBaseline()},
+		{"+Group", &core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DisableMapping: true, DisablePlanning: true}},
+		{"+Mapping", &core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DisablePlanning: true}},
+		{"+Plan", &core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}},
+		{"+Mixed", &core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedAuto}},
+	}
+	prev := 0.0
+	for _, v := range variants {
+		res, err := v.strat.Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		hours := res.MeanEpochSimSeconds() * float64(job.Spec.EpochsToConverge) / 3600
+		kj := res.EnergyJ / float64(len(res.EpochAccuracies)) * float64(job.Spec.EpochsToConverge) / 1000
+		speedup := "-"
+		if prev > 0 {
+			speedup = formatFloat(prev / hours)
+		}
+		t.AddRow(v.name, hours, speedup, kj)
+		prev = hours
+	}
+	return t, nil
+}
+
+// ExpFig14 regenerates Fig. 14: validation accuracy over simulated
+// time for the four mixed-precision variants during early training.
+func ExpFig14(model string, o Options) (*Table, error) {
+	if o.Groups == 0 {
+		o.Groups = 8 // size-4 groups, where the NPU speedup is visible in wall time
+	}
+	o = o.withDefaults()
+	clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 14 — Accuracy vs time by precision mode (%s)", model),
+		Header: []string{"mode", "epoch", "sim_hours", "accuracy_pct"},
+		Notes: []string{
+			"paper: Ours (mixed) matches Ours-FP32 accuracy at Ours-INT8-like speed; Ours-Half trails both",
+		},
+	}
+	sc := Scenario{Label: model, Model: model, Dataset: "cifar10", GlobalBatch: 64}
+	modes := []struct {
+		name string
+		mode core.MixedMode
+	}{
+		{"Ours-FP32", core.MixedOff},
+		{"Ours-Mixed", core.MixedAuto},
+		{"Ours-Half", core.MixedHalf},
+		{"Ours-INT8", core.MixedINT8Only},
+	}
+	for _, m := range modes {
+		job := jobFor(sc, o)
+		res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: m.mode}).Run(job, clu)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := 0.0
+		for e, acc := range res.EpochAccuracies {
+			elapsed += res.EpochSimSeconds[e]
+			t.AddRow(m.name, e+1, elapsed/3600, 100*acc)
+		}
+	}
+	return t, nil
+}

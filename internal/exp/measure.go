@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/core"
+	"socflow/internal/nn"
+)
+
+// ExpFig3 regenerates Fig. 3: the busy-SoC fraction per hour of day on
+// deployed SoC-Clusters, plus the idle window SoCFlow trains in.
+func ExpFig3() *Table {
+	tr := cluster.DefaultTidalTrace()
+	t := &Table{
+		Title:  "Fig. 3 — Busy SoCs ratio within a day",
+		Header: []string{"hour", "busy_pct"},
+	}
+	for h, v := range tr.HourlyProfile() {
+		t.AddRow(fmt.Sprintf("%02d:00", h), 100*v)
+	}
+	start, hours := tr.IdleWindow(0.2)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("idle window (<20%% busy): starts %02.0f:00, lasts %.1f h", start, hours),
+		"paper: 11:00-17:00 active users are >10x the 3:00-8:00 trough")
+	return t
+}
+
+// ExpFig4a regenerates Fig. 4(a): end-to-end single-SoC training hours
+// for VGG-11 and ResNet-18 on CPU-FP32 vs NPU-INT8.
+func ExpFig4a() *Table {
+	clu := cluster.New(cluster.Config{NumSoCs: 1})
+	t := &Table{
+		Title:  "Fig. 4(a) — Single-SoC end-to-end training time (hours)",
+		Header: []string{"model", "cpu_fp32_h", "npu_int8_h"},
+		Notes:  []string{"paper: VGG-11 29.1 / 7.5 h, ResNet-18 233 / 36 h"},
+	}
+	for _, name := range []string{"vgg11", "resnet18"} {
+		spec := nn.MustSpec(name)
+		steps := 50000 / 64 * spec.EpochsToConverge
+		cpu := float64(steps) * clu.StepTime(0, spec, 64, cluster.CPU) / 3600
+		npu := float64(steps) * clu.StepTime(0, spec, 64, cluster.NPU) / 3600
+		t.AddRow(name, cpu, npu)
+	}
+	return t
+}
+
+// ExpFig4b regenerates Fig. 4(b): per-synchronization communication
+// latency (ms) of Ring-AllReduce and Parameter Server as the SoC count
+// grows, for VGG-11 and ResNet-18 gradient payloads.
+func ExpFig4b() *Table {
+	t := &Table{
+		Title:  "Fig. 4(b) — Communication latency vs number of SoCs (ms)",
+		Header: []string{"socs", "v11_ring", "r18_ring", "v11_ps", "r18_ps"},
+		Notes: []string{
+			"paper anchors: 5-SoC ring 540/699 ms; 32-SoC ring 1248/2225 ms; 32-SoC PS 20593/26505 ms",
+		},
+	}
+	v11 := float64(nn.MustSpec("vgg11").GradBytes())
+	r18 := float64(nn.MustSpec("resnet18").GradBytes())
+	for _, n := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+		clu := cluster.New(cluster.Config{NumSoCs: n})
+		members := core.AllSoCs(clu)
+		t.AddRow(n,
+			1000*collective.RingAllReduceTime(clu, members, v11),
+			1000*collective.RingAllReduceTime(clu, members, r18),
+			1000*collective.PSTime(clu, members, 0, v11),
+			1000*collective.PSTime(clu, members, 0, r18),
+		)
+	}
+	return t
+}
+
+// ExpFig11 regenerates Fig. 11: 60-SoC SoCFlow vs a datacenter GPU on
+// training time and energy, for both silicon generations (865 vs V100,
+// 8gen1 vs A100).
+func ExpFig11(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title:  "Fig. 11 — SoCFlow (60 SoCs) vs datacenter GPU",
+		Header: []string{"pair", "model", "socflow_h", "gpu_h", "speedup", "socflow_kj", "gpu_kj", "energy_ratio"},
+		Notes: []string{
+			"paper: speedup 0.80-2.79x over V100; energy 2.31x/2.81x/2.96x/10.23x lower",
+		},
+	}
+	pairs := []struct {
+		label string
+		gen   cluster.SoCGeneration
+		gpu   cluster.GPUModel
+	}{
+		{"865-vs-V100", cluster.Gen865, cluster.V100},
+		{"8gen1-vs-A100", cluster.Gen8Gen1, cluster.A100},
+	}
+	cells := []Scenario{
+		{Label: "VGG-11", Model: "vgg11", Dataset: "cifar10", GlobalBatch: 64},
+		{Label: "ResNet-18", Model: "resnet18", Dataset: "cifar10", GlobalBatch: 64},
+		{Label: "LeNet-EMNIST", Model: "lenet5", Dataset: "emnist", GlobalBatch: 64},
+		{Label: "LeNet-FMNIST", Model: "lenet5", Dataset: "fmnist", GlobalBatch: 64},
+	}
+	for _, pair := range pairs {
+		clu := cluster.New(cluster.Config{NumSoCs: 60, Generation: pair.gen})
+		for _, sc := range cells {
+			job := jobFor(sc, o)
+			// 60 SoCs in 12 whole-PCB groups of 5: conflict-free
+			// mapping, a single communication group, and full
+			// sync/compute overlap — the regime the paper's 60-SoC
+			// comparison operates in.
+			sf := &core.SoCFlow{NumGroups: 12}
+			res, err := sf.Run(job, clu)
+			if err != nil {
+				return nil, err
+			}
+			spec := job.Spec
+			sfHours := res.MeanEpochSimSeconds() * float64(spec.EpochsToConverge) / 3600
+			sfKJ := res.EnergyJ / float64(len(res.EpochAccuracies)) * float64(spec.EpochsToConverge) / 1000
+			gpuSec := pair.gpu.TrainTime(spec, job.PaperSamples, spec.EpochsToConverge, 128)
+			gpuKJ := pair.gpu.Energy(gpuSec) / 1000
+			t.AddRow(pair.label, sc.Label, sfHours, gpuSec/3600, gpuSec/3600/sfHours, sfKJ, gpuKJ, gpuKJ/sfKJ)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise. LeNet-5 historically
+// used tanh-family activations.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := t.y.Data[i]
+		out.Data[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// MaxPool2D is a max-pooling layer with a square window.
+type MaxPool2D struct {
+	P tensor.ConvParams
+
+	inShape []int
+	arg     []int
+}
+
+// NewMaxPool2D creates a kxk max pool with the given stride.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	return &MaxPool2D{P: tensor.ConvParams{KH: k, KW: k, SH: stride, SW: stride}}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("MaxPool2D", x, 4)
+	m.inShape = append(m.inShape[:0], x.Shape...)
+	out, arg := tensor.MaxPool(x, m.P)
+	m.arg = arg
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPoolBackward(grad, m.arg, m.inShape)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// AvgPool2D is an average-pooling layer with a square window.
+type AvgPool2D struct {
+	P tensor.ConvParams
+
+	inShape []int
+}
+
+// NewAvgPool2D creates a kxk average pool with the given stride.
+func NewAvgPool2D(k, stride int) *AvgPool2D {
+	return &AvgPool2D{P: tensor.ConvParams{KH: k, KW: k, SH: stride, SW: stride}}
+}
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("AvgPool2D", x, 4)
+	a.inShape = append(a.inShape[:0], x.Shape...)
+	return tensor.AvgPool(x, a.P)
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPoolBackward(grad, a.inShape, a.P)
+}
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C] by averaging each plane,
+// used before the classifier in ResNet and MobileNet.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a GlobalAvgPool layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("GlobalAvgPool", x, 4)
+	g.inShape = append(g.inShape[:0], x.Shape...)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(img*c+ch)*h*w : (img*c+ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			out.Data[img*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(g.inShape...)
+	inv := 1 / float32(h*w)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[img*c+ch] * inv
+			plane := dx.Data[(img*c+ch)*h*w : (img*c+ch+1)*h*w]
+			for i := range plane {
+				plane[i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }

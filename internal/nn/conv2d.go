@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"socflow/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over NCHW input, lowered to
+// matrix multiplication via im2col exactly as the paper's MNN backend
+// lowers mobile convolutions.
+type Conv2D struct {
+	InC, OutC int
+	P         tensor.ConvParams
+	Weight    *Param // [OutC, InC*KH*KW]
+	Bias      *Param // [OutC]
+
+	inShape []int
+	cols    *tensor.Tensor // cached im2col matrix
+	oh, ow  int
+}
+
+// NewConv2D creates a conv layer with a square kernel, He init.
+func NewConv2D(r *tensor.RNG, inC, outC, k, stride, pad int) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		InC:  inC,
+		OutC: outC,
+		P:    tensor.ConvParams{KH: k, KW: k, SH: stride, SW: stride, PH: pad, PW: pad},
+		Weight: newParam("conv.w",
+			tensor.HeInit(r, fanIn, outC, fanIn), false),
+		Bias: newParam("conv.b", tensor.New(outC), true),
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("Conv2D", x, 4)
+	n := x.Shape[0]
+	c.inShape = append(c.inShape[:0], x.Shape...)
+	c.oh, c.ow = c.P.OutSize(x.Shape[2], x.Shape[3])
+	c.cols = tensor.Im2Col(x, c.P) // [N*OH*OW, InC*K*K]
+	// y = cols · Wᵀ  -> [N*OH*OW, OutC]
+	y := tensor.MatMulT2(c.cols, c.Weight.W)
+	tensor.AddRowVector(y, c.Bias.W)
+	// Rearrange [N, OH, OW, OutC] -> [N, OutC, OH, OW].
+	return nhwcToNCHW(y, n, c.oh, c.ow, c.OutC)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkDims("Conv2D", grad, 4)
+	n := grad.Shape[0]
+	// Back to [N*OH*OW, OutC] layout to mirror the forward pass.
+	g2 := nchwToNHWC(grad, n, c.OutC, c.oh, c.ow)
+	// dW = g2ᵀ · cols ; db = Σ_rows g2 ; dcols = g2 · W
+	tensor.AddInPlace(c.Weight.Grad, tensor.MatMulT1(g2, c.cols))
+	tensor.AddInPlace(c.Bias.Grad, tensor.SumRows(g2))
+	dcols := tensor.MatMul(g2, c.Weight.W)
+	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.P)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// nhwcToNCHW converts a [N*H*W, C] row matrix into an NCHW tensor.
+func nhwcToNCHW(y *tensor.Tensor, n, h, w, ch int) *tensor.Tensor {
+	out := tensor.New(n, ch, h, w)
+	hw := h * w
+	for img := 0; img < n; img++ {
+		for pos := 0; pos < hw; pos++ {
+			row := y.Data[(img*hw+pos)*ch : (img*hw+pos+1)*ch]
+			for cc, v := range row {
+				out.Data[(img*ch+cc)*hw+pos] = v
+			}
+		}
+	}
+	return out
+}
+
+// nchwToNHWC converts an NCHW tensor into a [N*H*W, C] row matrix.
+func nchwToNHWC(x *tensor.Tensor, n, ch, h, w int) *tensor.Tensor {
+	out := tensor.New(n*h*w, ch)
+	hw := h * w
+	for img := 0; img < n; img++ {
+		for cc := 0; cc < ch; cc++ {
+			plane := x.Data[(img*ch+cc)*hw : (img*ch+cc+1)*hw]
+			for pos, v := range plane {
+				out.Data[(img*hw+pos)*ch+cc] = v
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv2D applies one kxk filter per input channel (groups ==
+// channels), the building block of MobileNet-V1.
+type DepthwiseConv2D struct {
+	C      int
+	P      tensor.ConvParams
+	Weight *Param // [C, K*K]
+	Bias   *Param // [C]
+
+	inShape []int
+	x       *tensor.Tensor
+	oh, ow  int
+}
+
+// NewDepthwiseConv2D creates a depthwise conv layer.
+func NewDepthwiseConv2D(r *tensor.RNG, c, k, stride, pad int) *DepthwiseConv2D {
+	return &DepthwiseConv2D{
+		C:      c,
+		P:      tensor.ConvParams{KH: k, KW: k, SH: stride, SW: stride, PH: pad, PW: pad},
+		Weight: newParam("dwconv.w", tensor.HeInit(r, k*k, c, k*k), false),
+		Bias:   newParam("dwconv.b", tensor.New(c), true),
+	}
+}
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("DepthwiseConv2D", x, 4)
+	d.x = x
+	d.inShape = append(d.inShape[:0], x.Shape...)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	d.oh, d.ow = d.P.OutSize(h, w)
+	out := tensor.New(n, c, d.oh, d.ow)
+	k2 := d.P.KH * d.P.KW
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			cbase := (img*c + ch) * h * w
+			kw := d.Weight.W.Data[ch*k2 : (ch+1)*k2]
+			b := d.Bias.W.Data[ch]
+			for oy := 0; oy < d.oh; oy++ {
+				for ox := 0; ox < d.ow; ox++ {
+					s := b
+					ki := 0
+					for ky := 0; ky < d.P.KH; ky++ {
+						iy := oy*d.P.SH - d.P.PH + ky
+						for kx := 0; kx < d.P.KW; kx++ {
+							ix := ox*d.P.SW - d.P.PW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								s += kw[ki] * x.Data[cbase+iy*w+ix]
+							}
+							ki++
+						}
+					}
+					out.Data[oi] = s
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := d.inShape[0], d.inShape[1], d.inShape[2], d.inShape[3]
+	dx := tensor.New(d.inShape...)
+	k2 := d.P.KH * d.P.KW
+	gi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			cbase := (img*c + ch) * h * w
+			kw := d.Weight.W.Data[ch*k2 : (ch+1)*k2]
+			gw := d.Weight.Grad.Data[ch*k2 : (ch+1)*k2]
+			for oy := 0; oy < d.oh; oy++ {
+				for ox := 0; ox < d.ow; ox++ {
+					g := grad.Data[gi]
+					gi++
+					d.Bias.Grad.Data[ch] += g
+					ki := 0
+					for ky := 0; ky < d.P.KH; ky++ {
+						iy := oy*d.P.SH - d.P.PH + ky
+						for kx := 0; kx < d.P.KW; kx++ {
+							ix := ox*d.P.SW - d.P.PW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								gw[ki] += g * d.x.Data[cbase+iy*w+ix]
+								dx.Data[cbase+iy*w+ix] += g * kw[ki]
+							}
+							ki++
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.Weight, d.Bias} }

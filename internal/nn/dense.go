@@ -1,0 +1,44 @@
+package nn
+
+import "socflow/internal/tensor"
+
+// Dense is a fully connected layer: y = xW + b with x[N,in], W[in,out].
+type Dense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	x *tensor.Tensor // cached input for backward
+}
+
+// NewDense creates a dense layer with He initialization (suited to the
+// ReLU networks used throughout the paper).
+func NewDense(r *tensor.RNG, in, out int) *Dense {
+	return &Dense{
+		In:     in,
+		Out:    out,
+		Weight: newParam("dense.w", tensor.HeInit(r, in, in, out), false),
+		Bias:   newParam("dense.b", tensor.New(out), true),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkDims("Dense", x, 2)
+	d.x = x
+	y := tensor.MatMul(x, d.Weight.W)
+	tensor.AddRowVector(y, d.Bias.W)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkDims("Dense", grad, 2)
+	// dW = xᵀ · grad ; db = Σ_rows grad ; dx = grad · Wᵀ
+	tensor.AddInPlace(d.Weight.Grad, tensor.MatMulT1(d.x, grad))
+	tensor.AddInPlace(d.Bias.Grad, tensor.SumRows(grad))
+	return tensor.MatMulT2(grad, d.Weight.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }

@@ -1,0 +1,77 @@
+// Package nn implements the from-scratch neural-network substrate for
+// SoCFlow's functional track: layers with explicit backward passes,
+// losses, SGD optimizers, and the model zoo (LeNet-5, VGG-11,
+// ResNet-18/50, MobileNet-V1) that the paper evaluates.
+//
+// Every model exists in two linked forms: a paper-scale Spec (parameter
+// count and FLOPs per sample, used by the cluster performance model to
+// compute communication volume and compute time) and a micro build
+// (small enough to actually train in tests and benchmarks, used by the
+// functional track so that convergence phenomena are real).
+package nn
+
+import (
+	"fmt"
+
+	"socflow/internal/tensor"
+)
+
+// Param is one trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	// NoDecay marks parameters (biases, batch-norm scales) excluded
+	// from weight decay, following standard practice.
+	NoDecay bool
+}
+
+// newParam allocates a parameter with a zeroed gradient of the same
+// shape.
+func newParam(name string, w *tensor.Tensor, noDecay bool) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape...), NoDecay: noDecay}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward
+// needs; Backward accumulates parameter gradients and returns the
+// gradient with respect to the layer input.
+type Layer interface {
+	// Forward computes the layer output. train selects training
+	// behaviour (e.g. batch-norm statistics updates).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating into the parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Flatten reshapes [N, ...] to [N, features]. It has no parameters.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Shape[0], -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// checkDims panics with a descriptive message if x does not have the
+// expected rank.
+func checkDims(layer string, x *tensor.Tensor, want int) {
+	if x.Dims() != want {
+		panic(fmt.Sprintf("nn: %s expects %d-D input, got %v", layer, want, x.Shape))
+	}
+}

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes mean cross-entropy loss over a batch of
+// logits [N, classes] with integer labels, returning the loss and the
+// gradient with respect to the logits (softmax(x) - onehot)/N — the
+// fused, numerically stable formulation.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy on %v", logits.Shape))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	probs := tensor.Softmax(logits)
+	grad := probs.Clone()
+	var loss float64
+	invN := 1 / float32(n)
+	for i, y := range labels {
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		p := float64(probs.At(i, y))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Data[i*c+y] -= 1
+	}
+	tensor.Scale(invN, grad)
+	return float32(loss) / float32(n), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	preds := tensor.ArgmaxRows(logits)
+	if len(preds) != len(labels) {
+		panic(fmt.Sprintf("nn: Accuracy with %d preds, %d labels", len(preds), len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

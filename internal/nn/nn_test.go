@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"socflow/internal/tensor"
+)
+
+func TestDenseForwardHandComputed(t *testing.T) {
+	r := tensor.NewRNG(1)
+	d := NewDense(r, 2, 2)
+	d.Weight.W.CopyFrom(tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2))
+	d.Bias.W.CopyFrom(tensor.FromSlice([]float32{10, 20}, 2))
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	y := d.Forward(x, true)
+	// y = [1,1]·[[1,2],[3,4]] + [10,20] = [14, 26]
+	if y.Data[0] != 14 || y.Data[1] != 26 {
+		t.Fatalf("Dense forward = %v", y.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	l := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 1, 3)
+	y := l.Forward(x, true)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("ReLU = %v", y.Data)
+	}
+	g := l.Backward(tensor.FromSlice([]float32{5, 5, 5}, 1, 3))
+	if g.Data[0] != 0 || g.Data[1] != 0 || g.Data[2] != 5 {
+		t.Fatalf("ReLU grad = %v", g.Data)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4, 4)
+	y := f.Forward(x, true)
+	if y.Shape[0] != 2 || y.Shape[1] != 48 {
+		t.Fatalf("Flatten shape = %v", y.Shape)
+	}
+	g := f.Backward(tensor.New(2, 48))
+	if g.Dims() != 4 || g.Shape[1] != 3 {
+		t.Fatalf("Flatten backward shape = %v", g.Shape)
+	}
+}
+
+func TestBatchNormTrainNormalizes(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	r := tensor.NewRNG(3)
+	x := tensor.RandNormal(r, 5, 3, 8, 1, 4, 4)
+	y := bn.Forward(x, true)
+	if m := float64(y.Mean()); math.Abs(m) > 1e-3 {
+		t.Fatalf("BN output mean = %v, want ~0", m)
+	}
+	var sq float64
+	for _, v := range y.Data {
+		sq += float64(v) * float64(v)
+	}
+	if variance := sq / float64(y.Size()); math.Abs(variance-1) > 0.05 {
+		t.Fatalf("BN output variance = %v, want ~1", variance)
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	bn.RunningMean.Data[0] = 10
+	bn.RunningVar.Data[0] = 4
+	x := tensor.Full(12, 1, 1, 2, 2)
+	y := bn.Forward(x, false)
+	// (12-10)/sqrt(4) = 1
+	for _, v := range y.Data {
+		if math.Abs(float64(v)-1) > 1e-3 {
+			t.Fatalf("BN eval = %v, want 1", v)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyHandComputed(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0, 0}, 1, 2)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.Abs(float64(loss)-math.Log(2)) > 1e-5 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	// grad = softmax - onehot = [0.5-1, 0.5] = [-0.5, 0.5]
+	if math.Abs(float64(grad.Data[0])+0.5) > 1e-5 || math.Abs(float64(grad.Data[1])-0.5) > 1e-5 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradRowsSumZero(t *testing.T) {
+	r := tensor.NewRNG(5)
+	logits := tensor.RandNormal(r, 0, 3, 4, 5)
+	_, grad := SoftmaxCrossEntropy(logits, []int{0, 1, 2, 3})
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 5; j++ {
+			s += float64(grad.At(i, j))
+		}
+		if math.Abs(s) > 1e-5 {
+			t.Fatalf("grad row %d sums to %v, want 0", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyRejectsBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label must panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 3), []int{3})
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 0, 0,
+		0, 1, 0,
+		0, 0, 1,
+	}, 3, 3)
+	if a := Accuracy(logits, []int{0, 1, 0}); math.Abs(a-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v", a)
+	}
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float32{1}, 1), false)
+	p.Grad.Data[0] = 2
+	NewSGD(0.5, 0, 0).Step([]*Param{p})
+	if p.W.Data[0] != 0 {
+		t.Fatalf("w = %v, want 0", p.W.Data[0])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := newParam("w", tensor.New(1), false)
+	opt := NewSGD(1, 0.9, 0)
+	p.Grad.Data[0] = 1
+	opt.Step([]*Param{p}) // v=1, w=-1
+	p.Grad.Data[0] = 1
+	opt.Step([]*Param{p}) // v=1.9, w=-2.9
+	if math.Abs(float64(p.W.Data[0])+2.9) > 1e-5 {
+		t.Fatalf("momentum w = %v, want -2.9", p.W.Data[0])
+	}
+}
+
+func TestSGDWeightDecaySkipsNoDecay(t *testing.T) {
+	w := newParam("w", tensor.FromSlice([]float32{10}, 1), false)
+	b := newParam("b", tensor.FromSlice([]float32{10}, 1), true)
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{w, b})
+	// w: grad 0 + 0.5*10 = 5 -> w = 10 - 0.5 = 9.5 ; b unchanged.
+	if math.Abs(float64(w.W.Data[0])-9.5) > 1e-5 {
+		t.Fatalf("decayed w = %v, want 9.5", w.W.Data[0])
+	}
+	if b.W.Data[0] != 10 {
+		t.Fatalf("NoDecay b = %v, want 10", b.W.Data[0])
+	}
+}
+
+func TestSGDReset(t *testing.T) {
+	p := newParam("w", tensor.New(1), false)
+	opt := NewSGD(1, 0.9, 0)
+	p.Grad.Data[0] = 1
+	opt.Step([]*Param{p})
+	opt.Reset()
+	p.W.Data[0] = 0
+	p.Grad.Data[0] = 1
+	opt.Step([]*Param{p})
+	if p.W.Data[0] != -1 {
+		t.Fatalf("after Reset w = %v, want -1 (no velocity carry-over)", p.W.Data[0])
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, StepSize: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("StepLR early epochs wrong")
+	}
+	if math.Abs(float64(s.LR(10))-0.1) > 1e-6 || math.Abs(float64(s.LR(25))-0.01) > 1e-6 {
+		t.Fatalf("StepLR decay wrong: %v %v", s.LR(10), s.LR(25))
+	}
+	if ConstantLR(0.5).LR(100) != 0.5 {
+		t.Fatal("ConstantLR wrong")
+	}
+}
+
+func TestSequentialParamPlumbing(t *testing.T) {
+	r := tensor.NewRNG(6)
+	m := buildVGGMicro(r, 1, 8, 4)
+	if m.ParamCount() == 0 {
+		t.Fatal("model has no parameters")
+	}
+	if len(m.Weights()) != len(m.Grads()) {
+		t.Fatal("weights/grads length mismatch")
+	}
+	m.Grads()[0].Fill(3)
+	m.ZeroGrad()
+	if m.Grads()[0].Sum() != 0 {
+		t.Fatal("ZeroGrad did not clear")
+	}
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	r := tensor.NewRNG(7)
+	a := buildResNetMicro(r, 1, 8, 3)
+	b := buildResNetMicro(tensor.NewRNG(8), 1, 8, 3)
+	b.CopyWeightsFrom(a)
+	aw, bw := a.Weights(), b.Weights()
+	for i := range aw {
+		for j := range aw[i].Data {
+			if aw[i].Data[j] != bw[i].Data[j] {
+				t.Fatalf("weight %d/%d not copied", i, j)
+			}
+		}
+	}
+	// State (BN running stats) must be copied too.
+	as, bs := a.StateTensors(), b.StateTensors()
+	if len(as) == 0 || len(as) != len(bs) {
+		t.Fatalf("state tensors: %d vs %d", len(as), len(bs))
+	}
+}
+
+func TestModelZooCatalog(t *testing.T) {
+	names := ModelNames()
+	want := []string{"lenet5", "mobilenetv1", "resnet18", "resnet50", "vgg11"}
+	if len(names) != len(want) {
+		t.Fatalf("catalog = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("catalog = %v, want %v", names, want)
+		}
+	}
+	if _, err := GetSpec("bogus"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	for _, n := range names {
+		s := MustSpec(n)
+		if s.Params <= 0 || s.ForwardGFLOPs <= 0 || s.NPUSpeedup <= 1 || s.EpochsToConverge <= 0 {
+			t.Fatalf("spec %s has nonsense fields: %+v", n, s)
+		}
+		if s.GradBytes() != s.Params*4 {
+			t.Fatalf("GradBytes inconsistent for %s", n)
+		}
+	}
+}
+
+func TestAllMicroModelsForwardBackward(t *testing.T) {
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := tensor.NewRNG(42)
+			spec := MustSpec(name)
+			inC := 1
+			if name != "lenet5" {
+				inC = 3
+			}
+			m := spec.BuildMicro(r, inC, 8, 5)
+			x := tensor.RandNormal(r, 0, 1, 4, inC, 8, 8)
+			logits := m.Forward(x, true)
+			if logits.Shape[0] != 4 || logits.Shape[1] != 5 {
+				t.Fatalf("logits shape = %v", logits.Shape)
+			}
+			if logits.HasNaN() {
+				t.Fatal("forward produced NaN")
+			}
+			m.ZeroGrad()
+			_, g := SoftmaxCrossEntropy(logits, []int{0, 1, 2, 3})
+			dx := m.Backward(g)
+			if !dx.SameShape(x) {
+				t.Fatalf("input grad shape = %v", dx.Shape)
+			}
+			var total float32
+			for _, gr := range m.Grads() {
+				total += gr.L2Norm()
+			}
+			if total == 0 {
+				t.Fatal("backward produced all-zero gradients")
+			}
+		})
+	}
+}
+
+// Training smoke test: a micro model must learn a linearly separable
+// synthetic problem. This validates the whole substrate end to end.
+func TestMicroModelLearns(t *testing.T) {
+	r := tensor.NewRNG(123)
+	model := buildLeNetMicro(r, 1, 8, 2)
+	opt := NewSGD(0.05, 0.9, 0)
+
+	// Class 0: bright top half; class 1: bright bottom half.
+	const n = 64
+	x := tensor.New(n, 1, 8, 8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % 2
+		for y := 0; y < 8; y++ {
+			for xx := 0; xx < 8; xx++ {
+				v := 0.1 * r.Normal()
+				if (labels[i] == 0 && y < 4) || (labels[i] == 1 && y >= 4) {
+					v += 1
+				}
+				x.Data[i*64+y*8+xx] = v
+			}
+		}
+	}
+
+	first := -1.0
+	for epoch := 0; epoch < 30; epoch++ {
+		model.ZeroGrad()
+		logits := model.Forward(x, true)
+		loss, g := SoftmaxCrossEntropy(logits, labels)
+		if first < 0 {
+			first = float64(loss)
+		}
+		model.Backward(g)
+		opt.Step(model.Params())
+	}
+	logits := model.Forward(x, false)
+	acc := Accuracy(logits, labels)
+	if acc < 0.95 {
+		t.Fatalf("model failed to learn separable task: acc = %v", acc)
+	}
+	finalLoss, _ := SoftmaxCrossEntropy(logits, labels)
+	if float64(finalLoss) >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, finalLoss)
+	}
+}

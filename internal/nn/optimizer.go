@@ -1,0 +1,82 @@
+package nn
+
+import "socflow/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and
+// optional L2 weight decay, the optimizer the paper uses on the CPU
+// side (§3.2: "we employ the standard SGD as the training optimizer on
+// CPU").
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	// GradClip bounds each gradient tensor's elements (0 disables).
+	GradClip float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter using its accumulated
+// gradient. Gradients are not cleared; call ZeroGrad on the model.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if o.GradClip > 0 {
+			tensor.ClipInPlace(g, o.GradClip)
+		}
+		if o.WeightDecay > 0 && !p.NoDecay {
+			tensor.Axpy(o.WeightDecay, p.W, g)
+		}
+		if o.Momentum > 0 {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape...)
+				o.velocity[p] = v
+			}
+			tensor.Scale(o.Momentum, v)
+			tensor.AddInPlace(v, g)
+			tensor.Axpy(-o.LR, v, p.W)
+		} else {
+			tensor.Axpy(-o.LR, g, p.W)
+		}
+	}
+}
+
+// Reset discards momentum state, used when a model is re-initialized
+// from synchronized weights.
+func (o *SGD) Reset() { o.velocity = make(map[*Param]*tensor.Tensor) }
+
+// LRSchedule maps an epoch index to a learning rate.
+type LRSchedule interface {
+	LR(epoch int) float32
+}
+
+// ConstantLR keeps the learning rate fixed.
+type ConstantLR float32
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float32 { return float32(c) }
+
+// StepLR decays the base rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float32
+	Gamma    float32
+	StepSize int
+}
+
+// LR implements LRSchedule.
+func (s StepLR) LR(epoch int) float32 {
+	lr := s.Base
+	if s.StepSize <= 0 {
+		return lr
+	}
+	for k := 0; k < epoch/s.StepSize; k++ {
+		lr *= s.Gamma
+	}
+	return lr
+}

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+
+	"socflow/internal/tensor"
+)
+
+// Sequential chains layers; it is itself a Layer, so residual blocks
+// can nest Sequentials.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (s *Sequential) ParamCount() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// Weights returns the parameter tensors in declaration order, the
+// vector that collectives exchange.
+func (s *Sequential) Weights() []*tensor.Tensor {
+	ps := s.Params()
+	ws := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		ws[i] = p.W
+	}
+	return ws
+}
+
+// Grads returns the gradient tensors in declaration order.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	ps := s.Params()
+	gs := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		gs[i] = p.Grad
+	}
+	return gs
+}
+
+// StateTensors returns non-trainable state (batch-norm running stats)
+// in declaration order, walking nested Sequentials and residual blocks.
+func (s *Sequential) StateTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *BatchNorm2D:
+			out = append(out, v.State()...)
+		case *Sequential:
+			for _, inner := range v.Layers {
+				walk(inner)
+			}
+		case *Residual:
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
+// CopyWeightsFrom copies all weights and state from src into s. The two
+// models must have identical architecture.
+func (s *Sequential) CopyWeightsFrom(src *Sequential) {
+	dw, sw := s.Weights(), src.Weights()
+	if len(dw) != len(sw) {
+		panic(fmt.Sprintf("nn: CopyWeightsFrom with %d vs %d params", len(dw), len(sw)))
+	}
+	for i := range dw {
+		dw[i].CopyFrom(sw[i])
+	}
+	ds, ss := s.StateTensors(), src.StateTensors()
+	for i := range ds {
+		ds[i].CopyFrom(ss[i])
+	}
+}
+
+// Residual wraps a body with an identity (or projection) shortcut:
+// y = body(x) + shortcut(x). The ReLU after the sum is applied inside.
+type Residual struct {
+	Body     *Sequential
+	Shortcut *Sequential // nil means identity
+
+	relu *ReLU
+}
+
+// NewResidual builds a residual block. Pass shortcut == nil for an
+// identity skip connection.
+func NewResidual(body, shortcut *Sequential) *Residual {
+	return &Residual{Body: body, Shortcut: shortcut, relu: NewReLU()}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	var sc *tensor.Tensor
+	if r.Shortcut != nil {
+		sc = r.Shortcut.Forward(x, train)
+	} else {
+		sc = x
+	}
+	if !y.SameShape(sc) {
+		panic(fmt.Sprintf("nn: residual shape mismatch %v vs %v", y.Shape, sc.Shape))
+	}
+	sum := tensor.Add(y, sc)
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := r.relu.Backward(grad)
+	dBody := r.Body.Backward(g)
+	if r.Shortcut != nil {
+		dSc := r.Shortcut.Backward(g)
+		return tensor.Add(dBody, dSc)
+	}
+	return tensor.Add(dBody, g)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Shortcut != nil {
+		ps = append(ps, r.Shortcut.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,164 @@
+package quant
+
+import (
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// Int8SGD performs the NPU-side weight update the way integer-only
+// training frameworks (NITI, Mandheling) do: each weight tensor lives
+// on a *persistent* per-channel INT8 grid, and an SGD step moves the
+// integer codes by the stochastically rounded update. Keeping the grid
+// fixed between steps matters — re-deriving the scale from the drifting
+// absmax every step would re-round the whole tensor and inject a random
+// walk far larger than real integer arithmetic does. The grid is
+// re-anchored only when the weights outgrow it.
+//
+// The genuine INT8 degradation the paper observes (Observation #3)
+// still emerges: updates smaller than the grid step survive only in
+// expectation, so late training — when per-worker gradients shrink as
+// 1/N — loses precision exactly as on the real NPU.
+type Int8SGD struct {
+	// LR is the learning rate applied to the dequantized gradient.
+	LR float32
+	// GradClip bounds the gradient absolute value before the update
+	// (0 disables clipping).
+	GradClip float32
+	// RNG drives stochastic rounding; must be non-nil.
+	RNG *tensor.RNG
+
+	// scales holds the persistent per-channel grid scale of each
+	// weight tensor, keyed by the tensor itself.
+	scales map[*tensor.Tensor][]float32
+}
+
+// headroom is the slack the grid allows above the current absmax when a
+// scale is (re)anchored, so ordinary training drift does not force
+// constant re-gridding.
+const headroom = 1.5
+
+// channelsOf returns the channel count and per-channel stride for a
+// weight tensor (axis 0 = channels; 1-D tensors are one channel).
+func channelsOf(w *tensor.Tensor) (ch, stride int) {
+	if w.Dims() < 2 || w.Shape[0] <= 1 {
+		return 1, len(w.Data)
+	}
+	return w.Shape[0], len(w.Data) / w.Shape[0]
+}
+
+// scaleOf returns (anchoring if needed) the persistent per-channel
+// scales for w.
+func (o *Int8SGD) scaleOf(w *tensor.Tensor) []float32 {
+	if o.scales == nil {
+		o.scales = make(map[*tensor.Tensor][]float32)
+	}
+	if s, ok := o.scales[w]; ok {
+		return s
+	}
+	s := o.anchor(w)
+	o.scales[w] = s
+	return s
+}
+
+// anchor derives fresh per-channel scales with headroom.
+func (o *Int8SGD) anchor(w *tensor.Tensor) []float32 {
+	ch, stride := channelsOf(w)
+	s := make([]float32, ch)
+	for c := 0; c < ch; c++ {
+		row := w.Data[c*stride : (c+1)*stride]
+		var absMax float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > absMax {
+				absMax = a
+			}
+		}
+		s[c] = scaleFor(absMax * headroom)
+	}
+	return s
+}
+
+// Step applies one integer SGD update:
+//
+//	codes <- clamp(codes - stochastic_round(lr·fakequant(g)/scale))
+//
+// with per-channel scales that persist across steps. If any channel's
+// weights have outgrown its grid, the tensor is re-anchored first.
+func (o *Int8SGD) Step(w, g *tensor.Tensor) {
+	if o.GradClip > 0 {
+		g = g.Clone()
+		tensor.ClipInPlace(g, o.GradClip)
+	}
+	gq := FakeQuantize(g)
+
+	s := o.scaleOf(w)
+	ch, stride := channelsOf(w)
+	regrid := false
+	for c := 0; c < ch; c++ {
+		scale := s[c]
+		limit := scale * 127
+		row := w.Data[c*stride : (c+1)*stride]
+		grow := gq.Data[c*stride : (c+1)*stride]
+		inv := 1 / scale
+		for i := range row {
+			x := float64((row[i] - o.LR*grow[i]) * inv)
+			lo := math.Floor(x)
+			r := lo
+			if o.RNG.Float64() < x-lo {
+				r = lo + 1
+			}
+			v := float32(clampInt8(r)) * scale
+			row[i] = v
+			if v >= limit || v <= -limit {
+				regrid = true
+			}
+		}
+	}
+	if regrid {
+		o.scales[w] = o.anchor(w)
+	}
+}
+
+// StepParams applies Step to each (weight, gradient) pair.
+func (o *Int8SGD) StepParams(ws, gs []*tensor.Tensor) {
+	if len(ws) != len(gs) {
+		panic("quant: StepParams length mismatch")
+	}
+	for i := range ws {
+		o.Step(ws[i], gs[i])
+	}
+}
+
+// Requantize nearest-rounds w onto its persistent grid, re-anchoring
+// first if any value outgrew it. SoCFlow's Eq. 5 merge calls this after
+// blending the FP32 and INT8 replicas so the NPU side returns to its
+// own grid without the grid itself drifting.
+func (o *Int8SGD) Requantize(w *tensor.Tensor) {
+	s := o.scaleOf(w)
+	ch, stride := channelsOf(w)
+	// Re-anchor if the merged weights escaped the grid.
+	for c := 0; c < ch; c++ {
+		limit := s[c] * 127
+		row := w.Data[c*stride : (c+1)*stride]
+		for _, v := range row {
+			if v > limit || v < -limit {
+				s = o.anchor(w)
+				o.scales[w] = s
+				c = ch // break outer
+				break
+			}
+		}
+	}
+	for c := 0; c < ch; c++ {
+		scale := s[c]
+		inv := 1 / scale
+		row := w.Data[c*stride : (c+1)*stride]
+		for i, v := range row {
+			row[i] = float32(clampInt8(math.Round(float64(v*inv)))) * scale
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package quant implements the INT8 quantized-training substrate that
+// stands in for the paper's NPU backend (Mandheling / NITI-style
+// integer training on the Hexagon DSP).
+//
+// The NPU effects that matter to SoCFlow are (a) a large speedup over
+// the CPU and (b) an accuracy degradation that grows as training
+// progresses and as the update magnitude shrinks (Observation #3,
+// Fig. 4(c)). Both are reproduced faithfully: speed comes from the
+// cluster performance model, and degradation emerges from genuine
+// quantization — weights live on persistent per-channel INT8 grids
+// (Int8SGD), activations are fake-quantized layer by layer on the NPU
+// datapath, gradients pass through the INT8 grid before the update,
+// and updates smaller than the grid step survive only in expectation
+// via stochastic rounding — exactly the mechanism that makes INT8
+// training lag FP32 near convergence.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// QTensor is an INT8-quantized tensor: int8 codes plus a single
+// symmetric per-tensor scale, so value ≈ float32(code) * Scale.
+type QTensor struct {
+	Shape []int
+	Codes []int8
+	Scale float32
+}
+
+// Quantize converts t to INT8 with a symmetric per-tensor scale chosen
+// so the absolute maximum maps to ±127. A zero tensor quantizes with
+// scale 1 (all-zero codes).
+func Quantize(t *tensor.Tensor) *QTensor {
+	q := &QTensor{
+		Shape: append([]int(nil), t.Shape...),
+		Codes: make([]int8, len(t.Data)),
+		Scale: scaleFor(t.AbsMax()),
+	}
+	inv := 1 / q.Scale
+	for i, v := range t.Data {
+		q.Codes[i] = clampInt8(math.Round(float64(v * inv)))
+	}
+	return q
+}
+
+// QuantizeStochastic converts t to INT8 using stochastic rounding: a
+// value between two grid points rounds up with probability equal to its
+// fractional position. Stochastic rounding keeps the *expected* update
+// unbiased, which is why integer-training schemes (NITI, UI8) rely on
+// it; the variance it injects is the genuine source of INT8 accuracy
+// loss.
+func QuantizeStochastic(t *tensor.Tensor, rng *tensor.RNG) *QTensor {
+	q := &QTensor{
+		Shape: append([]int(nil), t.Shape...),
+		Codes: make([]int8, len(t.Data)),
+		Scale: scaleFor(t.AbsMax()),
+	}
+	inv := 1 / q.Scale
+	for i, v := range t.Data {
+		x := float64(v * inv)
+		lo := math.Floor(x)
+		frac := x - lo
+		r := lo
+		if rng.Float64() < frac {
+			r = lo + 1
+		}
+		q.Codes[i] = clampInt8(r)
+	}
+	return q
+}
+
+// Dequantize converts q back to float32.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	t := tensor.New(q.Shape...)
+	for i, c := range q.Codes {
+		t.Data[i] = float32(c) * q.Scale
+	}
+	return t
+}
+
+// Size returns the number of elements.
+func (q *QTensor) Size() int { return len(q.Codes) }
+
+// Bytes returns the wire size of the quantized tensor (1 byte per code
+// plus the 4-byte scale), the figure the communication model uses when
+// INT8 gradients are exchanged.
+func (q *QTensor) Bytes() int { return len(q.Codes) + 4 }
+
+// Clone returns a deep copy.
+func (q *QTensor) Clone() *QTensor {
+	c := &QTensor{Shape: append([]int(nil), q.Shape...), Codes: make([]int8, len(q.Codes)), Scale: q.Scale}
+	copy(c.Codes, q.Codes)
+	return c
+}
+
+// FakeQuantize rounds t onto its INT8 grid and back, returning a new
+// float32 tensor. This is the standard simulated-quantization operator:
+// the result is exactly what the NPU would compute with, while staying
+// in float32 for the rest of the pipeline.
+func FakeQuantize(t *tensor.Tensor) *tensor.Tensor {
+	return Quantize(t).Dequantize()
+}
+
+// FakeQuantizeInPlace rounds t onto its INT8 grid in place.
+func FakeQuantizeInPlace(t *tensor.Tensor) {
+	s := scaleFor(t.AbsMax())
+	inv := 1 / s
+	for i, v := range t.Data {
+		t.Data[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
+	}
+}
+
+// QuantError returns the relative L2 quantization error
+// ‖t − deq(quant(t))‖ / ‖t‖, or 0 for a zero tensor. The engine uses it
+// as a cheap health metric alongside α.
+func QuantError(t *tensor.Tensor) float32 {
+	n := t.L2Norm()
+	if n == 0 {
+		return 0
+	}
+	d := tensor.Sub(t, FakeQuantize(t))
+	return d.L2Norm() / n
+}
+
+func scaleFor(absMax float32) float32 {
+	if absMax == 0 {
+		return 1
+	}
+	return absMax / 127
+}
+
+func clampInt8(x float64) int8 {
+	if x > 127 {
+		return 127
+	}
+	if x < -128 {
+		return -128
+	}
+	return int8(x)
+}
+
+// LogitConfidence computes SoCFlow's α metric (Eq. 4): the cosine
+// similarity between the FP32 model's logits and the INT8 model's
+// logits on a validation probe. Both tensors must be [batch, classes].
+// The result is clamped to [0, 1]: a negative cosine means the INT8
+// model has become useless, which the controller treats the same as 0.
+func LogitConfidence(fp32Logits, int8Logits *tensor.Tensor) float32 {
+	if !fp32Logits.SameShape(int8Logits) {
+		panic(fmt.Sprintf("quant: LogitConfidence shape mismatch %v vs %v", fp32Logits.Shape, int8Logits.Shape))
+	}
+	a := tensor.CosineSimilarity(fp32Logits, int8Logits)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// FakeQuantizePerChannelInPlace rounds t onto per-channel INT8 grids,
+// treating the first dimension as the channel axis (the layout of conv
+// kernels [OutC, InC·K·K] and dense weights). Per-channel scales are
+// what mobile INT8 stacks (NNAPI, QNN, Mandheling) use for weights —
+// the error is several times smaller than a single per-tensor scale.
+// Tensors with fewer than 2 dimensions fall back to per-tensor.
+func FakeQuantizePerChannelInPlace(t *tensor.Tensor) {
+	if t.Dims() < 2 || t.Shape[0] <= 1 {
+		FakeQuantizeInPlace(t)
+		return
+	}
+	ch := t.Shape[0]
+	stride := len(t.Data) / ch
+	for c := 0; c < ch; c++ {
+		row := t.Data[c*stride : (c+1)*stride]
+		var absMax float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > absMax {
+				absMax = a
+			}
+		}
+		s := scaleFor(absMax)
+		inv := 1 / s
+		for i, v := range row {
+			row[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
+		}
+	}
+}
+
+// QuantizeStochasticPerChannelInPlace applies stochastic rounding onto
+// per-channel INT8 grids in place, the integer-SGD weight storage
+// format.
+func QuantizeStochasticPerChannelInPlace(t *tensor.Tensor, rng *tensor.RNG) {
+	if t.Dims() < 2 || t.Shape[0] <= 1 {
+		q := QuantizeStochastic(t, rng)
+		copy(t.Data, q.Dequantize().Data)
+		return
+	}
+	ch := t.Shape[0]
+	stride := len(t.Data) / ch
+	for c := 0; c < ch; c++ {
+		row := t.Data[c*stride : (c+1)*stride]
+		var absMax float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > absMax {
+				absMax = a
+			}
+		}
+		s := scaleFor(absMax)
+		inv := 1 / s
+		for i, v := range row {
+			x := float64(v * inv)
+			lo := math.Floor(x)
+			r := lo
+			if rng.Float64() < x-lo {
+				r = lo + 1
+			}
+			row[i] = float32(clampInt8(r)) * s
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+	"socflow/internal/transport"
+)
+
+// MixedDistConfig configures a distributed run where every SoC worker
+// hosts the paper's full on-chip stack: an FP32 replica on the CPU and
+// an INT8 replica on the NPU, batch-split by the α/β controller, with
+// Eq. 5 merges at epoch boundaries before cross-SoC synchronization —
+// the complete §3 system running as real concurrent workers.
+type MixedDistConfig struct {
+	DistConfig
+	// Beta is the profiled compute-power ratio fed to every worker's
+	// controller.
+	Beta float64
+	// ProbeBatch sizes the α validation probe (default 32).
+	ProbeBatch int
+}
+
+// RunMixedDistributed executes the mixed-precision group-wise protocol
+// with one goroutine per SoC. Within a group, workers SSGD-average the
+// *FP32-side* gradients per batch while each worker's NPU replica
+// trains its share locally; at epoch end each worker merges its pair
+// (Eq. 5), groups aggregate through the leader ring, and data
+// reshuffles across groups.
+func RunMixedDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg MixedDistConfig) (*DistResult, error) {
+	if cfg.ProbeBatch == 0 {
+		cfg.ProbeBatch = 32
+	}
+	if cfg.Beta <= 0 || cfg.Beta >= 1 {
+		return nil, fmt.Errorf("runtime: beta %v out of (0,1)", cfg.Beta)
+	}
+	numNodes := mesh.Size()
+	nodeGroup := make([]int, numNodes)
+	for i := range nodeGroup {
+		nodeGroup[i] = -1
+	}
+	leaders := make([]int, len(cfg.Groups))
+	for g, members := range cfg.Groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("runtime: empty group %d", g)
+		}
+		leaders[g] = members[0]
+		for _, m := range members {
+			if m < 0 || m >= numNodes || nodeGroup[m] != -1 {
+				return nil, fmt.Errorf("runtime: bad member %d", m)
+			}
+			nodeGroup[m] = g
+		}
+	}
+	if cfg.Epochs <= 0 || cfg.GroupBatch <= 0 {
+		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GroupBatch)
+	}
+
+	res := &DistResult{}
+	var resMu sync.Mutex
+	errs := make(chan error, numNodes)
+	var wg sync.WaitGroup
+	for id := 0; id < numNodes; id++ {
+		if nodeGroup[id] < 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(id, g int) {
+			defer wg.Done()
+			if err := runMixedWorker(mesh.Node(id), spec, train, val, cfg, g, leaders, res, &resMu); err != nil {
+				errs <- fmt.Errorf("mixed worker %d: %w", id, err)
+			}
+		}(id, nodeGroup[id])
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg MixedDistConfig,
+	group int, leaders []int, res *DistResult, resMu *sync.Mutex) error {
+
+	members := cfg.Groups[group]
+	rank := rankOf(node.ID(), members)
+	isGroupLeader := rank == 0
+	isGlobalLeader := isGroupLeader && group == 0
+
+	build := func() *nn.Sequential {
+		return spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
+	}
+	ref := build()
+	// Worker-private RNG stream for INT8 stochastic rounding; the FP32
+	// side stays bit-identical across members, which is what the
+	// gradient all-reduce requires.
+	mp := core.NewMixedPrecision(ref, build, cfg.LR, cfg.Momentum, cfg.Beta, tensor.NewRNG(cfg.Seed).Split(uint64(node.ID())+50))
+
+	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
+	perMember := cfg.GroupBatch / len(members)
+	if perMember < 1 {
+		perMember = 1
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shard := shards[group]
+		it := dataset.NewBatchIterator(shard, perMember*len(members), cfg.Seed+uint64(100+epoch))
+		for i := 0; i < it.BatchesPerEpoch(); i++ {
+			x, labels := it.Next()
+			n := x.Shape[0]
+			lo := rank * n / len(members)
+			hi := (rank + 1) * n / len(members)
+			if hi > lo {
+				xm := tensor.Rows(x, lo, hi)
+				mp.Step(xm, labels[lo:hi])
+			}
+			// Intra-group sync of the FP32 weights: each member's CPU
+			// replica took a different SGD step; ring-average them (the
+			// weight-space equivalent of gradient SSGD at equal LR).
+			flat := flatten(mp.FP32.Weights())
+			if err := RingAllReduceAverage(node, members, flat); err != nil {
+				return err
+			}
+			unflatten(flat, mp.FP32.Weights())
+		}
+
+		// On-chip Eq. 5 merge (α refresh + blend), then delayed
+		// aggregation across groups.
+		mp.EndEpoch(val, cfg.ProbeBatch)
+		syncSet := append(mp.Weights(), mp.FP32.StateTensors()...)
+		flat := flatten(syncSet)
+		if isGroupLeader {
+			if err := RingAllReduceAverage(node, leaders, flat); err != nil {
+				return err
+			}
+		}
+		if err := Broadcast(node, members, members[0], flat); err != nil {
+			return err
+		}
+		unflatten(flat, syncSet)
+		mp.AdoptMerged()
+
+		shards = dataset.Reshuffle(shards, cfg.Seed+uint64(1000+epoch))
+
+		if isGlobalLeader {
+			acc := accuracyOn(mp.FP32, val)
+			resMu.Lock()
+			res.EpochAccuracies = append(res.EpochAccuracies, acc)
+			resMu.Unlock()
+		}
+	}
+	if isGlobalLeader {
+		resMu.Lock()
+		res.Final = mp.FP32
+		resMu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+	"socflow/internal/transport"
+)
+
+// DistConfig describes a distributed SoCFlow training run on a mesh.
+type DistConfig struct {
+	// Groups maps each logical group to its member node IDs (e.g. from
+	// core.IntegrityGreedyMap).
+	Groups [][]int
+	// Epochs, GroupBatch, LR, Momentum configure training. GroupBatch
+	// is BS_g, split evenly across a group's members each iteration.
+	Epochs     int
+	GroupBatch int
+	LR         float32
+	Momentum   float32
+	// Seed drives model init, sharding, and batch order; every node
+	// derives the identical schedule from it.
+	Seed uint64
+}
+
+// DistResult is what RunDistributed reports.
+type DistResult struct {
+	// EpochAccuracies is validation accuracy after each epoch,
+	// evaluated on group 0's model (all groups agree after the
+	// inter-group aggregation).
+	EpochAccuracies []float64
+	// Final is the fully aggregated model after the last epoch.
+	Final *nn.Sequential
+}
+
+// RunDistributed executes SoCFlow's group-wise protocol for real: one
+// goroutine per SoC over the mesh. Within a group, every member
+// computes gradients on its slice of the group batch and the group
+// ring-all-reduces them each iteration (SSGD); across groups, leaders
+// ring-all-reduce the weights once per epoch and broadcast them back
+// to their members (delayed aggregation); shards reshuffle across
+// groups between epochs. The protocol, message layout, and schedule
+// are what the paper's prototype runs over TCP.
+func RunDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig) (*DistResult, error) {
+	numNodes := mesh.Size()
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("runtime: no groups")
+	}
+	nodeGroup := make([]int, numNodes)
+	for i := range nodeGroup {
+		nodeGroup[i] = -1
+	}
+	leaders := make([]int, len(cfg.Groups))
+	for g, members := range cfg.Groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("runtime: empty group %d", g)
+		}
+		leaders[g] = members[0]
+		for _, m := range members {
+			if m < 0 || m >= numNodes {
+				return nil, fmt.Errorf("runtime: member %d outside mesh of %d", m, numNodes)
+			}
+			if nodeGroup[m] != -1 {
+				return nil, fmt.Errorf("runtime: node %d in two groups", m)
+			}
+			nodeGroup[m] = g
+		}
+	}
+	if cfg.Epochs <= 0 || cfg.GroupBatch <= 0 {
+		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GroupBatch)
+	}
+
+	res := &DistResult{}
+	var resMu sync.Mutex
+	errs := make(chan error, numNodes)
+	var wg sync.WaitGroup
+
+	for id := 0; id < numNodes; id++ {
+		g := nodeGroup[id]
+		if g < 0 {
+			continue // node hosts no worker (e.g. spare SoC)
+		}
+		wg.Add(1)
+		go func(id, g int) {
+			defer wg.Done()
+			if err := runWorker(mesh.Node(id), spec, train, val, cfg, g, leaders, res, &resMu); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", id, err)
+			}
+		}(id, g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// runWorker is one SoC's whole life: deterministic local schedule plus
+// the collective calls at group and epoch boundaries.
+func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig,
+	group int, leaders []int, res *DistResult, resMu *sync.Mutex) error {
+
+	members := cfg.Groups[group]
+	rank := rankOf(node.ID(), members)
+	isGroupLeader := rank == 0
+	isGlobalLeader := isGroupLeader && group == 0
+
+	// Identical init everywhere: same seed, same stream.
+	model := spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+
+	// Every node derives the identical sharding and batch order.
+	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
+	perMember := cfg.GroupBatch / len(members)
+	if perMember < 1 {
+		perMember = 1
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shard := shards[group]
+		it := dataset.NewBatchIterator(shard, perMember*len(members), cfg.Seed+uint64(100+epoch))
+		iters := it.BatchesPerEpoch()
+		for i := 0; i < iters; i++ {
+			x, labels := it.Next()
+			// This member's slice of the group batch; the last member
+			// absorbs any remainder.
+			n := x.Shape[0]
+			lo := rank * n / len(members)
+			hi := (rank + 1) * n / len(members)
+			model.ZeroGrad()
+			if hi > lo {
+				xm := tensor.Rows(x, lo, hi)
+				logits := model.Forward(xm, true)
+				_, g := nn.SoftmaxCrossEntropy(logits, labels[lo:hi])
+				model.Backward(g)
+				// Weight by actual slice size so the group average is
+				// the full-batch mean gradient.
+				scale := float32(hi-lo) * float32(len(members)) / float32(n)
+				for _, gr := range model.Grads() {
+					tensor.Scale(scale, gr)
+				}
+			}
+			// Intra-group SSGD: average gradients over the ring.
+			flat := flatten(model.Grads())
+			if err := RingAllReduceAverage(node, members, flat); err != nil {
+				return err
+			}
+			unflatten(flat, model.Grads())
+			opt.Step(model.Params())
+		}
+
+		// Delayed aggregation: leaders average weights across groups,
+		// then each leader broadcasts within its group. Batch-norm
+		// running statistics travel with the weights.
+		sync := append(model.Weights(), model.StateTensors()...)
+		flat := flatten(sync)
+		if isGroupLeader {
+			if err := RingAllReduceAverage(node, leaders, flat); err != nil {
+				return err
+			}
+		}
+		if err := Broadcast(node, members, members[0], flat); err != nil {
+			return err
+		}
+		unflatten(flat, sync)
+
+		// Cross-group reshuffle (§3.1) — identical on every node.
+		shards = dataset.Reshuffle(shards, cfg.Seed+uint64(1000+epoch))
+
+		if isGlobalLeader {
+			acc := accuracyOn(model, val)
+			resMu.Lock()
+			res.EpochAccuracies = append(res.EpochAccuracies, acc)
+			resMu.Unlock()
+		}
+	}
+	if isGlobalLeader {
+		resMu.Lock()
+		res.Final = model
+		resMu.Unlock()
+	}
+	return nil
+}
+
+// accuracyOn evaluates a model on a dataset in eval mode.
+func accuracyOn(model *nn.Sequential, d *dataset.Dataset) float64 {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := d.Batch(idx)
+	return nn.Accuracy(model.Forward(x, false), labels)
+}
+
+// GroupsFromMapping adapts a core.Mapping to the runtime's group
+// layout.
+func GroupsFromMapping(m *core.Mapping) [][]int {
+	out := make([][]int, len(m.Groups))
+	for g := range m.Groups {
+		out[g] = append([]int(nil), m.Groups[g]...)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package simnet is a flow-level discrete-event network simulator.
+//
+// SoCFlow's entire systems argument hinges on where bytes contend: tens
+// of SoCs share 1 Gbps PCB NICs, and the choice of topology (ring vs
+// parameter server), mapping (which logical group lands on which PCB),
+// and schedule (which groups synchronize simultaneously) decides how
+// long synchronization takes. simnet models exactly that: directed
+// links with finite bandwidth, flows that traverse link paths, and
+// max-min fair bandwidth sharing recomputed at every flow start/finish
+// event (progressive filling). This is the standard flow-level
+// abstraction used by cluster simulators; packet-level detail would add
+// cost without changing any of the paper's conclusions.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is a directed, fixed-capacity network resource.
+type Link struct {
+	// Name identifies the link in debug output.
+	Name string
+	// Bandwidth is the capacity in bytes per second.
+	Bandwidth float64
+	// Latency is the one-way propagation delay in seconds, charged once
+	// per flow crossing the link.
+	Latency float64
+}
+
+// NewLink creates a link with the given capacity in bytes/second.
+func NewLink(name string, bandwidth, latency float64) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("simnet: link %q with non-positive bandwidth", name))
+	}
+	return &Link{Name: name, Bandwidth: bandwidth, Latency: latency}
+}
+
+// Flow is one transfer traversing a path of links.
+type Flow struct {
+	// Name identifies the flow in results.
+	Name string
+	// Path lists the links the flow traverses in order. An empty path
+	// means a loopback/intra-SoC transfer, which completes after
+	// StartAt immediately (plus nothing); callers model on-chip copies
+	// separately.
+	Path []*Link
+	// Bytes is the payload size.
+	Bytes float64
+	// StartAt is the simulation time at which the flow becomes active.
+	StartAt float64
+
+	// Results, populated by Simulate.
+	FinishAt float64
+
+	remaining float64
+	rate      float64
+	started   bool
+	done      bool
+}
+
+// latency returns the total path propagation delay.
+func (f *Flow) latency() float64 {
+	var l float64
+	for _, lk := range f.Path {
+		l += lk.Latency
+	}
+	return l
+}
+
+// Simulate runs progressive filling over the given flows and returns
+// the makespan (time at which the last flow completes). Each flow's
+// FinishAt is populated. Flows with zero bytes finish at StartAt plus
+// path latency.
+//
+// The algorithm alternates between (1) computing the max-min fair rate
+// allocation for the currently active flows and (2) advancing time to
+// the next flow start or finish. Complexity is O(E · (F·L)) for E
+// events, fine for the fleet sizes here (hundreds of flows).
+func Simulate(flows []*Flow) float64 {
+	for _, f := range flows {
+		f.remaining = f.Bytes
+		f.started = false
+		f.done = false
+		f.FinishAt = 0
+	}
+	now := 0.0
+	makespan := 0.0
+	pending := len(flows)
+
+	for pending > 0 {
+		// Activate flows whose start time has arrived.
+		nextStart := math.Inf(1)
+		var active []*Flow
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			if !f.started {
+				if f.StartAt <= now+1e-12 {
+					f.started = true
+				} else if f.StartAt < nextStart {
+					nextStart = f.StartAt
+				}
+			}
+			if f.started {
+				active = append(active, f)
+			}
+		}
+
+		// Retire exhausted flows, zero-byte flows, and loopback flows
+		// (empty path: on-chip transfers are modeled separately)
+		// immediately.
+		retired := false
+		for _, f := range active {
+			if f.remaining <= 1e-9 || len(f.Path) == 0 {
+				f.done = true
+				f.FinishAt = now + f.latency()
+				if f.FinishAt > makespan {
+					makespan = f.FinishAt
+				}
+				pending--
+				retired = true
+			}
+		}
+		if retired {
+			continue
+		}
+
+		if len(active) == 0 {
+			if math.IsInf(nextStart, 1) {
+				break // nothing active and nothing pending: all done
+			}
+			now = nextStart
+			continue
+		}
+
+		fairShare(active)
+
+		// Time until the first active flow finishes at current rates.
+		dt := math.Inf(1)
+		for _, f := range active {
+			if f.rate > 0 {
+				if t := f.remaining / f.rate; t < dt {
+					dt = t
+				}
+			}
+		}
+		// Or until a new flow starts, whichever comes first.
+		if nextStart-now < dt {
+			dt = nextStart - now
+		}
+		if math.IsInf(dt, 1) {
+			panic("simnet: deadlock — active flows with zero rate and no pending starts")
+		}
+
+		for _, f := range active {
+			f.remaining -= f.rate * dt
+		}
+		now += dt
+	}
+	return makespan
+}
+
+// fairShare computes the max-min fair rate for each active flow via
+// water-filling: repeatedly find the most-constrained link (smallest
+// per-flow share), freeze its flows at that share, remove their demand,
+// and continue.
+func fairShare(active []*Flow) {
+	type linkState struct {
+		cap   float64
+		flows []*Flow
+	}
+	states := make(map[*Link]*linkState)
+	frozen := make(map[*Flow]bool, len(active))
+	for _, f := range active {
+		f.rate = 0
+		if len(f.Path) == 0 {
+			// Loopback: unconstrained; give it effectively infinite rate.
+			f.rate = math.Inf(1)
+			frozen[f] = true
+			continue
+		}
+		for _, l := range f.Path {
+			st, ok := states[l]
+			if !ok {
+				st = &linkState{cap: l.Bandwidth}
+				states[l] = st
+			}
+			st.flows = append(st.flows, f)
+		}
+	}
+
+	for len(frozen) < len(active) {
+		// Find bottleneck link: min cap/unfrozen-count.
+		var bottleneck *linkState
+		best := math.Inf(1)
+		for _, st := range states {
+			n := 0
+			for _, f := range st.flows {
+				if !frozen[f] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := st.cap / float64(n)
+			if share < best {
+				best = share
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze that link's unfrozen flows at the bottleneck share and
+		// charge their rate against every link they cross.
+		for _, f := range bottleneck.flows {
+			if frozen[f] {
+				continue
+			}
+			f.rate = best
+			frozen[f] = true
+			for _, l := range f.Path {
+				states[l].cap -= best
+				if states[l].cap < 0 {
+					states[l].cap = 0
+				}
+			}
+		}
+	}
+}
+
+// TransferTime returns the completion time of a single flow of the
+// given size over the path, with no competition.
+func TransferTime(bytes float64, path ...*Link) float64 {
+	f := &Flow{Name: "single", Path: path, Bytes: bytes}
+	return Simulate([]*Flow{f})
+}
+
+// Makespan is a convenience that simulates the flows and returns both
+// the makespan and the sorted per-flow finish times.
+func Makespan(flows []*Flow) (float64, []float64) {
+	ms := Simulate(flows)
+	times := make([]float64, len(flows))
+	for i, f := range flows {
+		times[i] = f.FinishAt
+	}
+	sort.Float64s(times)
+	return ms, times
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution or pooling window. Tensors use
+// NCHW layout throughout the repository.
+type ConvParams struct {
+	KH, KW int // kernel height/width
+	SH, SW int // stride
+	PH, PW int // zero padding (symmetric)
+}
+
+// OutSize returns the output spatial size for an input of h x w.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.PH-p.KH)/p.SH + 1
+	ow = (w+2*p.PW-p.KW)/p.SW + 1
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("tensor: conv window %+v does not fit input %dx%d", p, h, w))
+	}
+	return oh, ow
+}
+
+// Im2Col unfolds input x[N,C,H,W] into a matrix [N*OH*OW, C*KH*KW] so a
+// convolution becomes a single MatMul against the reshaped kernel. This
+// is the same lowering MNN (the paper's CPU backend) uses for mobile
+// convolutions.
+func Im2Col(x *Tensor, p ConvParams) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col of %v (want NCHW)", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	cols := New(n*oh*ow, c*p.KH*p.KW)
+	row := 0
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+				di := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.PH + ky
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.PW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[di] = x.Data[cbase+iy*w+ix]
+							} else {
+								dst[di] = 0
+							}
+							di++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a column matrix (as produced by Im2Col) back into an
+// NCHW image, accumulating overlapping contributions. It is the adjoint
+// of Im2Col and is used for the convolution input gradient.
+func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	if cols.Shape[0] != n*oh*ow || cols.Shape[1] != c*p.KH*p.KW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with %dx%dx%dx%d %+v", cols.Shape, n, c, h, w, p))
+	}
+	img := New(n, c, h, w)
+	row := 0
+	for in := 0; in < n; in++ {
+		base := in * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+				si := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.PH + ky
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.PW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								img.Data[cbase+iy*w+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img
+}
+
+// MaxPool applies max pooling to x[N,C,H,W] and returns the pooled
+// tensor plus the flat argmax indices needed by the backward pass.
+func MaxPool(x *Tensor, p ConvParams) (*Tensor, []int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Size())
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			cbase := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					bi := -1
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.PH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.PW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := x.Data[cbase+iy*w+ix]
+							if bi < 0 || v > best {
+								best, bi = v, cbase+iy*w+ix
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPoolBackward scatters the output gradient back to the argmax
+// positions recorded by MaxPool.
+func MaxPoolBackward(grad *Tensor, arg []int, inShape []int) *Tensor {
+	dx := New(inShape...)
+	for i, g := range grad.Data {
+		if arg[i] >= 0 {
+			dx.Data[arg[i]] += g
+		}
+	}
+	return dx
+}
+
+// AvgPool applies average pooling to x[N,C,H,W]. Out-of-bounds window
+// cells count as zeros with the full window size as divisor, matching
+// the conventional "count_include_pad" behaviour.
+func AvgPool(x *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	out := New(n, c, oh, ow)
+	inv := 1 / float32(p.KH*p.KW)
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			cbase := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.PH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.PW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += x.Data[cbase+iy*w+ix]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPoolBackward distributes the output gradient uniformly over each
+// pooling window.
+func AvgPoolBackward(grad *Tensor, inShape []int, p ConvParams) *Tensor {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	oh, ow := p.OutSize(h, w)
+	dx := New(inShape...)
+	inv := 1 / float32(p.KH*p.KW)
+	gi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			cbase := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.Data[gi] * inv
+					gi++
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.SH - p.PH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.SW - p.PW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dx.Data[cbase+iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,266 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvParamsOutSize(t *testing.T) {
+	p := ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}
+	oh, ow := p.OutSize(8, 8)
+	if oh != 8 || ow != 8 {
+		t.Fatalf("same-padding 3x3 should preserve size, got %dx%d", oh, ow)
+	}
+	p2 := ConvParams{KH: 2, KW: 2, SH: 2, SW: 2}
+	oh, ow = p2.OutSize(8, 8)
+	if oh != 4 || ow != 4 {
+		t.Fatalf("2x2/2 pool of 8x8 = %dx%d, want 4x4", oh, ow)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// A 1x1 kernel with stride 1 makes im2col a pure reshape.
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	p := ConvParams{KH: 1, KW: 1, SH: 1, SW: 1}
+	cols := Im2Col(x, p)
+	if cols.Shape[0] != 4 || cols.Shape[1] != 1 {
+		t.Fatalf("cols shape %v", cols.Shape)
+	}
+	for i, w := range []float32{1, 2, 3, 4} {
+		if cols.Data[i] != w {
+			t.Fatalf("cols = %v", cols.Data)
+		}
+	}
+}
+
+func TestIm2ColHandComputed(t *testing.T) {
+	// 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	p := ConvParams{KH: 2, KW: 2, SH: 1, SW: 1}
+	cols := Im2Col(x, p)
+	want := [][]float32{
+		{1, 2, 4, 5}, {2, 3, 5, 6},
+		{4, 5, 7, 8}, {5, 6, 8, 9},
+	}
+	for r, wr := range want {
+		for c, w := range wr {
+			if cols.At(r, c) != w {
+				t.Fatalf("cols[%d][%d] = %v, want %v", r, c, cols.At(r, c), w)
+			}
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	x := Ones(1, 1, 2, 2)
+	p := ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}
+	cols := Im2Col(x, p)
+	// Top-left output position: only the bottom-right 2x2 of the kernel
+	// overlaps real pixels.
+	row0 := cols.Data[:9]
+	wantZeros := []int{0, 1, 2, 3, 6}
+	for _, i := range wantZeros {
+		if row0[i] != 0 {
+			t.Fatalf("padding cell %d should be 0: %v", i, row0)
+		}
+	}
+	if row0[4] != 1 || row0[5] != 1 || row0[7] != 1 || row0[8] != 1 {
+		t.Fatalf("interior cells wrong: %v", row0)
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+// This adjoint property is exactly what makes the conv backward pass
+// correct, so we verify it directly as a property test.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	r := NewRNG(11)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n, c := 1+rr.Intn(2), 1+rr.Intn(2)
+		h := 3 + rr.Intn(4)
+		w := 3 + rr.Intn(4)
+		p := ConvParams{KH: 1 + rr.Intn(3), KW: 1 + rr.Intn(3), SH: 1 + rr.Intn(2), SW: 1 + rr.Intn(2)}
+		p.PH, p.PW = rr.Intn(2), rr.Intn(2)
+		if h+2*p.PH < p.KH || w+2*p.PW < p.KW {
+			return true // window does not fit; skip
+		}
+		x := RandNormal(rr, 0, 1, n, c, h, w)
+		cols := Im2Col(x, p)
+		y := RandNormal(rr, 0, 1, cols.Shape...)
+		lhs := Dot(cols, y)
+		rhs := Dot(x, Col2Im(y, n, c, h, w, p))
+		return almostEq(lhs, rhs, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := ConvParams{KH: 2, KW: 2, SH: 2, SW: 2}
+	y, arg := MaxPool(x, p)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("MaxPool = %v, want %v", y.Data, want)
+		}
+	}
+	g := Ones(1, 1, 2, 2)
+	dx := MaxPoolBackward(g, arg, x.Shape)
+	// Gradient flows only to argmax positions.
+	var nonzero int
+	for i, v := range dx.Data {
+		if v != 0 {
+			nonzero++
+			if x.Data[i] != want[0] && x.Data[i] != want[1] && x.Data[i] != want[2] && x.Data[i] != want[3] {
+				t.Fatalf("gradient leaked to non-max position %d", i)
+			}
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("expected 4 gradient positions, got %d", nonzero)
+	}
+}
+
+func TestAvgPoolForwardBackward(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	p := ConvParams{KH: 2, KW: 2, SH: 2, SW: 2}
+	y := AvgPool(x, p)
+	if y.Size() != 1 || y.Data[0] != 2.5 {
+		t.Fatalf("AvgPool = %v", y.Data)
+	}
+	g := FromSlice([]float32{4}, 1, 1, 1, 1)
+	dx := AvgPoolBackward(g, x.Shape, p)
+	for _, v := range dx.Data {
+		if v != 1 {
+			t.Fatalf("AvgPoolBackward = %v, want all 1", dx.Data)
+		}
+	}
+}
+
+// Property: max pooling gradient preserves total mass when windows do
+// not overlap (stride == kernel).
+func TestMaxPoolGradMassProperty(t *testing.T) {
+	r := NewRNG(23)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		k := 1 + rr.Intn(3)
+		hw := k * (1 + rr.Intn(3))
+		x := RandNormal(rr, 0, 1, 1, 2, hw, hw)
+		p := ConvParams{KH: k, KW: k, SH: k, SW: k}
+		y, arg := MaxPool(x, p)
+		g := RandNormal(rr, 0, 1, y.Shape...)
+		dx := MaxPoolBackward(g, arg, x.Shape)
+		return almostEq(dx.Sum(), g.Sum(), 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := NewRNG(6)
+	same := true
+	a2 := NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(1)
+	s1 := root.Split(1)
+	s2 := root.Split(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("split streams must differ")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(4)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := float64(r.Normal())
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHeXavierInitScale(t *testing.T) {
+	r := NewRNG(10)
+	h := HeInit(r, 100, 10000)
+	// std should be ~sqrt(2/100) ≈ 0.1414
+	var sq float64
+	for _, v := range h.Data {
+		sq += float64(v) * float64(v)
+	}
+	std := sq / float64(h.Size())
+	if std < 0.015 || std > 0.025 {
+		t.Fatalf("He init variance = %v, want ~0.02", std)
+	}
+	x := XavierInit(r, 50, 50, 10000)
+	if x.AbsMax() > float32(0.245)+1e-6 { // sqrt(6/100) ≈ 0.2449
+		t.Fatalf("Xavier exceeded limit: %v", x.AbsMax())
+	}
+}

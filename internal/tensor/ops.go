@@ -1,0 +1,366 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise as a new tensor.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise as a new tensor.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise as a new tensor.
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a (a += b).
+func AddInPlace(a, b *Tensor) {
+	checkSame("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// SubInPlace subtracts b from a (a -= b).
+func SubInPlace(a, b *Tensor) {
+	checkSame("SubInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] -= b.Data[i]
+	}
+}
+
+// Axpy performs a += alpha*b, the workhorse of SGD updates and gradient
+// aggregation.
+func Axpy(alpha float32, b, a *Tensor) {
+	checkSame("Axpy", a, b)
+	for i := range a.Data {
+		a.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// Scale multiplies every element of t by alpha in place.
+func Scale(alpha float32, t *Tensor) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Scaled returns alpha*t as a new tensor.
+func Scaled(alpha float32, t *Tensor) *Tensor {
+	out := New(t.Shape...)
+	for i := range t.Data {
+		out.Data[i] = alpha * t.Data[i]
+	}
+	return out
+}
+
+// Lerp overwrites dst with (1-w)*a + w*b, used by SoCFlow's Eq. 5
+// mixed-precision weight merge.
+func Lerp(dst, a, b *Tensor, w float32) {
+	checkSame("Lerp", a, b)
+	checkSame("Lerp", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = (1-w)*a.Data[i] + w*b.Data[i]
+	}
+}
+
+// Dot returns the inner product of the flattened tensors.
+func Dot(a, b *Tensor) float32 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return float32(s)
+}
+
+// CosineSimilarity returns cos(a, b) of the flattened tensors, the
+// metric SoCFlow uses for the INT8 confidence α (Eq. 4). It returns 0
+// when either vector has zero norm.
+func CosineSimilarity(a, b *Tensor) float32 {
+	na, nb := float64(a.L2Norm()), float64(b.L2Norm())
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float32(float64(Dot(a, b)) / (na * nb))
+}
+
+// MatMul computes C = A x B for 2-D tensors A[m,k] and B[k,n]. The inner
+// loop is arranged (i,k,j) so B is scanned row-contiguously, which is
+// the standard cache-friendly ordering for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices.
+func matmulInto(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 computes C = Aᵀ x B for A[k,m], B[k,n] -> C[m,n], used in
+// dense-layer weight gradients.
+func MatMulT1(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 computes C = A x Bᵀ for A[m,k], B[n,k] -> C[m,n], used in
+// dense-layer input gradients.
+func MatMulT2(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D of %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// SumRows reduces a 2-D tensor [m,n] over rows, producing [n]. Used for
+// bias gradients.
+func SumRows(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows of %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v[n] to every row of a[m,n] in place
+// (bias broadcast).
+func AddRowVector(a, v *Tensor) {
+	if a.Dims() != 2 || v.Dims() != 1 || a.Shape[1] != v.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector %v += %v", a.Shape, v.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+}
+
+// Softmax computes row-wise softmax of a 2-D tensor [batch, classes]
+// with the usual max-subtraction for numerical stability.
+func Softmax(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Softmax of %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - mx))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// ArgmaxRows returns the per-row argmax of a 2-D tensor, i.e. the
+// predicted class indices for a batch of logits.
+func ArgmaxRows(a *Tensor) []int {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows of %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// ClipInPlace clamps every element of t into [-c, c]. Gradient clipping
+// keeps the micro-models used in tests numerically tame.
+func ClipInPlace(t *Tensor, c float32) {
+	for i, v := range t.Data {
+		if v > c {
+			t.Data[i] = c
+		} else if v < -c {
+			t.Data[i] = -c
+		}
+	}
+}
+
+// Row returns a view (shared data) of row i of a 2-D tensor as a 1-D
+// tensor.
+func Row(a *Tensor, i int) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Row of %v", a.Shape))
+	}
+	n := a.Shape[1]
+	return &Tensor{Shape: []int{n}, Data: a.Data[i*n : (i+1)*n]}
+}
+
+// Rows returns a view of rows [lo,hi) of tensor a whose first dimension
+// is the batch dimension. The returned tensor shares a's backing data.
+func Rows(a *Tensor, lo, hi int) *Tensor {
+	if a.Dims() < 1 || lo < 0 || hi > a.Shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: Rows[%d:%d] of %v", lo, hi, a.Shape))
+	}
+	stride := 1
+	for _, d := range a.Shape[1:] {
+		stride *= d
+	}
+	shape := append([]int{hi - lo}, a.Shape[1:]...)
+	return &Tensor{Shape: shape, Data: a.Data[lo*stride : hi*stride]}
+}
+
+// Concat concatenates tensors along dimension 0. All inputs must share
+// trailing dimensions.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	inner := 1
+	for _, d := range ts[0].Shape[1:] {
+		inner *= d
+	}
+	rows := 0
+	for _, t := range ts {
+		ti := 1
+		for _, d := range t.Shape[1:] {
+			ti *= d
+		}
+		if ti != inner {
+			panic(fmt.Sprintf("tensor: Concat trailing-shape mismatch %v vs %v", ts[0].Shape, t.Shape))
+		}
+		rows += t.Shape[0]
+	}
+	shape := append([]int{rows}, ts[0].Shape[1:]...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

@@ -1,0 +1,74 @@
+package transport
+
+import "fmt"
+
+// ChanMesh is an in-process Mesh: every directed pair of nodes gets a
+// buffered channel. It is deterministic, allocation-light, and fast —
+// the default for unit tests and for the runtime's correctness
+// validation.
+type ChanMesh struct {
+	n     int
+	links [][]chan []byte // links[from][to]
+}
+
+// NewChanMesh builds an n-node in-process mesh. Buffer depth bounds
+// how far a sender can run ahead of its receiver.
+func NewChanMesh(n int) *ChanMesh {
+	if n <= 0 {
+		panic("transport: mesh needs at least one node")
+	}
+	m := &ChanMesh{n: n, links: make([][]chan []byte, n)}
+	for i := range m.links {
+		m.links[i] = make([]chan []byte, n)
+		for j := range m.links[i] {
+			if i != j {
+				m.links[i][j] = make(chan []byte, 64)
+			}
+		}
+	}
+	return m
+}
+
+// Size implements Mesh.
+func (m *ChanMesh) Size() int { return m.n }
+
+// Node implements Mesh.
+func (m *ChanMesh) Node(i int) Node {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("transport: node %d out of range", i))
+	}
+	return &chanNode{mesh: m, id: i}
+}
+
+// Close implements Mesh. Channels are garbage-collected; Close only
+// exists for interface symmetry.
+func (m *ChanMesh) Close() error { return nil }
+
+type chanNode struct {
+	mesh *ChanMesh
+	id   int
+}
+
+func (n *chanNode) ID() int   { return n.id }
+func (n *chanNode) Size() int { return n.mesh.n }
+
+func (n *chanNode) Send(to int, payload []byte) error {
+	if to < 0 || to >= n.mesh.n || to == n.id {
+		return fmt.Errorf("transport: node %d cannot send to %d", n.id, to)
+	}
+	// Copy so the caller may reuse its buffer, matching TCP semantics.
+	msg := append([]byte(nil), payload...)
+	n.mesh.links[n.id][to] <- msg
+	return nil
+}
+
+func (n *chanNode) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= n.mesh.n || from == n.id {
+		return nil, fmt.Errorf("transport: node %d cannot recv from %d", n.id, from)
+	}
+	msg, ok := <-n.mesh.links[from][n.id]
+	if !ok {
+		return nil, fmt.Errorf("transport: link %d->%d closed", from, n.id)
+	}
+	return msg, nil
+}

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"socflow/internal/tensor"
+)
+
+// EncodeVector serializes a float32 vector for the wire.
+func EncodeVector(v []float32) []byte {
+	buf := make([]byte, 4+4*len(v))
+	binary.LittleEndian.PutUint32(buf, uint32(len(v)))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], math.Float32bits(x))
+	}
+	return buf
+}
+
+// DecodeVector reverses EncodeVector.
+func DecodeVector(b []byte) ([]float32, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("transport: vector frame too short")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if uint32(len(b)-4) != 4*n {
+		return nil, fmt.Errorf("transport: vector frame length %d for %d elements", len(b), n)
+	}
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	return v, nil
+}
+
+// EncodeTensors serializes a tensor set (shapes + data) for model and
+// gradient exchange.
+func EncodeTensors(ts []*tensor.Tensor) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(len(ts)))
+	for _, t := range ts {
+		binary.Write(&buf, binary.LittleEndian, uint32(len(t.Shape)))
+		for _, d := range t.Shape {
+			binary.Write(&buf, binary.LittleEndian, uint32(d))
+		}
+		binary.Write(&buf, binary.LittleEndian, t.Data)
+	}
+	return buf.Bytes()
+}
+
+// DecodeTensors reverses EncodeTensors.
+func DecodeTensors(b []byte) ([]*tensor.Tensor, error) {
+	r := bytes.NewReader(b)
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("transport: implausible tensor count %d", n)
+	}
+	ts := make([]*tensor.Tensor, n)
+	for i := range ts {
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return nil, err
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("transport: implausible rank %d", rank)
+		}
+		shape := make([]int, rank)
+		size := 1
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+				return nil, err
+			}
+			shape[d] = int(dim)
+			size *= int(dim)
+		}
+		if size > 1<<27 {
+			return nil, fmt.Errorf("transport: implausible tensor size %d", size)
+		}
+		t := tensor.New(shape...)
+		if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+			return nil, err
+		}
+		ts[i] = t
+	}
+	return ts, nil
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPMesh is a Mesh whose links are real TCP connections on loopback:
+// every unordered pair of nodes shares one connection, with a reader
+// goroutine demultiplexing inbound frames into a per-peer queue. This
+// is the realistic transport — framing, flow control, and byte copies
+// all happen as they would between SoCs.
+type TCPMesh struct {
+	n     int
+	nodes []*tcpNode
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewTCPMesh builds an n-node mesh on 127.0.0.1. Each node listens on
+// an ephemeral port; node i dials every node j > i, and the first
+// frame on each connection announces the dialer's ID.
+func NewTCPMesh(n int) (*TCPMesh, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: mesh needs at least one node")
+	}
+	m := &TCPMesh{n: n}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
+		}
+		listeners[i] = l
+		m.nodes = append(m.nodes, newTCPNode(m, i, n))
+	}
+
+	// Accept loop per node, run until its expected peers have arrived.
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer listeners[i].Close()
+			// Node i accepts connections from every lower-numbered peer.
+			for k := 0; k < i; k++ {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errs <- err
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				m.nodes[i].attach(peer, conn)
+			}
+		}(i)
+	}
+	// Dial every higher-numbered peer.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := net.Dial("tcp", listeners[j].Addr().String())
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("transport: dial %d->%d: %w", i, j, err)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				m.Close()
+				return nil, err
+			}
+			m.nodes[i].attach(j, conn)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		m.Close()
+		return nil, err
+	default:
+	}
+	return m, nil
+}
+
+// Size implements Mesh.
+func (m *TCPMesh) Size() int { return m.n }
+
+// Node implements Mesh.
+func (m *TCPMesh) Node(i int) Node { return m.nodes[i] }
+
+// Close implements Mesh.
+func (m *TCPMesh) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, nd := range m.nodes {
+		nd.close()
+	}
+	return nil
+}
+
+type tcpNode struct {
+	mesh *TCPMesh
+	id   int
+	n    int
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wmu   []sync.Mutex
+	inbox []chan []byte
+	ready []chan struct{} // closed when conns[peer] is attached
+}
+
+func newTCPNode(m *TCPMesh, id, n int) *tcpNode {
+	nd := &tcpNode{
+		mesh:  m,
+		id:    id,
+		n:     n,
+		conns: make([]net.Conn, n),
+		wmu:   make([]sync.Mutex, n),
+		inbox: make([]chan []byte, n),
+		ready: make([]chan struct{}, n),
+	}
+	for i := range nd.inbox {
+		nd.inbox[i] = make(chan []byte, 64)
+		nd.ready[i] = make(chan struct{})
+	}
+	return nd
+}
+
+func (nd *tcpNode) attach(peer int, conn net.Conn) {
+	nd.mu.Lock()
+	nd.conns[peer] = conn
+	close(nd.ready[peer])
+	nd.mu.Unlock()
+	go func() {
+		for {
+			msg, err := readFrame(conn)
+			if err != nil {
+				close(nd.inbox[peer])
+				return
+			}
+			nd.inbox[peer] <- msg
+		}
+	}()
+}
+
+func (nd *tcpNode) close() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for _, c := range nd.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (nd *tcpNode) ID() int   { return nd.id }
+func (nd *tcpNode) Size() int { return nd.n }
+
+func (nd *tcpNode) Send(to int, payload []byte) error {
+	if to < 0 || to >= nd.n || to == nd.id {
+		return fmt.Errorf("transport: node %d cannot send to %d", nd.id, to)
+	}
+	<-nd.ready[to]
+	nd.wmu[to].Lock()
+	defer nd.wmu[to].Unlock()
+	return writeFrame(nd.conns[to], payload)
+}
+
+func (nd *tcpNode) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= nd.n || from == nd.id {
+		return nil, fmt.Errorf("transport: node %d cannot recv from %d", nd.id, from)
+	}
+	msg, ok := <-nd.inbox[from]
+	if !ok {
+		return nil, fmt.Errorf("transport: link %d->%d closed", from, nd.id)
+	}
+	return msg, nil
+}

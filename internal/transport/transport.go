@@ -1,0 +1,77 @@
+// Package transport provides the point-to-point messaging layer the
+// distributed runtime runs on, mirroring the paper's prototype ("all
+// the network communication, including Ring-AllReduce, parameter
+// server, and federated learning, are implemented over TCP protocol").
+//
+// Two Mesh implementations share one interface: TCPMesh connects every
+// pair of nodes over loopback TCP with length-prefixed framing — the
+// realistic path — and ChanMesh uses in-process channels for fast,
+// fully deterministic tests. The runtime is written against Mesh and
+// works identically on both.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Node is one endpoint's view of the mesh.
+type Node interface {
+	// ID returns this node's index in [0, Size).
+	ID() int
+	// Size returns the number of nodes in the mesh.
+	Size() int
+	// Send delivers a message to peer `to`. Messages between a pair of
+	// nodes are ordered; Send may block until the peer consumes
+	// backlog.
+	Send(to int, payload []byte) error
+	// Recv returns the next message from peer `from`, blocking until
+	// one arrives.
+	Recv(from int) ([]byte, error)
+}
+
+// Mesh is a fully connected group of nodes.
+type Mesh interface {
+	// Node returns endpoint i.
+	Node(i int) Node
+	// Size returns the node count.
+	Size() int
+	// Close tears down all links.
+	Close() error
+}
+
+// maxFrame bounds a single message (64 MiB), a sanity guard against
+// corrupted length prefixes.
+const maxFrame = 64 << 20
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

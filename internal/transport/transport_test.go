@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("round trip %q", got)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversize frame must be rejected on write")
+	}
+	// Corrupted length prefix on read.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversize frame must be rejected on read")
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{8, 0, 0, 0, 1, 2}) // announces 8 bytes, has 2
+	if _, err := readFrame(buf); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+}
+
+func TestChanMeshSendRecvOrdering(t *testing.T) {
+	m := NewChanMesh(2)
+	a, b := m.Node(0), m.Node(1)
+	for i := byte(0); i < 10; i++ {
+		if err := a.Send(1, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 10; i++ {
+		msg, err := b.Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg[0] != i {
+			t.Fatalf("out of order: got %d want %d", msg[0], i)
+		}
+	}
+}
+
+func TestChanMeshCopiesPayload(t *testing.T) {
+	m := NewChanMesh(2)
+	buf := []byte{1, 2, 3}
+	if err := m.Node(0).Send(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller reuses its buffer
+	msg, err := m.Node(1).Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg[0] != 1 {
+		t.Fatal("Send must copy the payload")
+	}
+}
+
+func TestChanMeshRejectsBadTargets(t *testing.T) {
+	m := NewChanMesh(2)
+	if err := m.Node(0).Send(0, nil); err == nil {
+		t.Fatal("self-send must error")
+	}
+	if err := m.Node(0).Send(5, nil); err == nil {
+		t.Fatal("out-of-range send must error")
+	}
+	if _, err := m.Node(0).Recv(0); err == nil {
+		t.Fatal("self-recv must error")
+	}
+}
+
+func TestTCPMeshBidirectionalTraffic(t *testing.T) {
+	m, err := NewTCPMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	// Every ordered pair exchanges a message concurrently.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				if err := m.Node(i).Send(j, []byte{byte(10*i + j)}); err != nil {
+					errs <- err
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			msg, err := m.Node(j).Recv(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg[0] != byte(10*i+j) {
+				t.Fatalf("wrong payload %d from %d->%d", msg[0], i, j)
+			}
+		}
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestTCPMeshLargePayload(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Node(0).Send(1, big) }()
+	msg, err := m.Node(1).Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) != len(big) || msg[12345] != big[12345] {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPMeshRecvAfterCloseErrors(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := m.Node(0).Recv(1); err == nil {
+		t.Fatal("recv on closed mesh must error")
+	}
+}
+
+func TestTCPMeshDoubleCloseSafe(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("double close must be safe")
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewTCPMesh(0); err == nil {
+		t.Fatal("zero-node TCP mesh must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node chan mesh must panic")
+		}
+	}()
+	NewChanMesh(0)
+}

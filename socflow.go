@@ -1,0 +1,305 @@
+// Package socflow is a Go reproduction of "SoCFlow: Efficient and
+// Scalable DNN Training on SoC-Clustered Edge Servers" (ASPLOS 2024).
+//
+// SoCFlow trains DNN models on edge servers built from tens of mobile
+// SoCs by (1) dividing the SoCs into logical groups that synchronize
+// per batch over Ring-AllReduce and aggregate across groups only once
+// per epoch, with an integrity-greedy logical-to-physical mapping and
+// contention-free communication-group scheduling, and (2) splitting
+// every mini-batch between the mobile CPU (FP32) and NPU (INT8) with a
+// confidence/compute-ratio controller.
+//
+// Because the original system needs a physical Snapdragon 865 cluster,
+// this package runs on a dual-track simulation: the training math
+// (SGD, INT8 quantization, topology-faithful aggregation) is executed
+// for real on micro-scale models and synthetic datasets, while time and
+// energy come from a discrete-event model of the SoC-Cluster calibrated
+// to the paper's measurements. See DESIGN.md for the substitution
+// table and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quickstart:
+//
+//	report, err := socflow.Run(socflow.Config{
+//		Model:   "vgg11",
+//		Dataset: "cifar10",
+//		NumSoCs: 32,
+//		Groups:  8,
+//		Epochs:  10,
+//	})
+package socflow
+
+import (
+	"fmt"
+
+	"socflow/internal/baselines"
+	"socflow/internal/cluster"
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+)
+
+// Config describes a training run. Zero values select sensible
+// defaults (noted per field).
+type Config struct {
+	// Model is one of Models(): "lenet5", "vgg11", "resnet18",
+	// "mobilenetv1", "resnet50". Default "vgg11".
+	Model string
+	// Dataset is one of Datasets(): "cifar10", "emnist", "fmnist",
+	// "celeba", "cinic10". Default "cifar10".
+	Dataset string
+	// Strategy is one of Strategies(): "socflow" (default), "ps",
+	// "ring", "hipress", "2dparal", "fedavg", "tfedavg".
+	Strategy string
+	// NumSoCs is the fleet size (default 32, the paper's main setting).
+	NumSoCs int
+	// Groups is SoCFlow's logical-group count N (default 8; ignored by
+	// baselines). Set to -1 to let the warm-up heuristic pick N
+	// (§3.1's first-epoch-accuracy knee rule).
+	Groups int
+	// Mixed selects SoCFlow's processor mode: "auto" (default),
+	// "fp32", "int8", "half".
+	Mixed string
+	// GlobalBatch is the functional mini-batch size per logical group
+	// (default 16, sized to the micro datasets).
+	GlobalBatch int
+	// PaperBatch is the batch size the performance track prices
+	// (default 64, the paper's BS_g; 256 for MobileNet).
+	PaperBatch int
+	// Epochs is the number of functional epochs (default 10).
+	Epochs int
+	// LR and Momentum configure SGD (defaults 0.02 / 0.9).
+	LR, Momentum float32
+	// TargetAccuracy stops early when validation accuracy reaches it.
+	TargetAccuracy float64
+	// TrainSamples/ValSamples size the synthetic micro datasets
+	// (defaults 768 / 128).
+	TrainSamples, ValSamples int
+	// Seed makes the run reproducible (default 1).
+	Seed uint64
+	// Generation selects the SoC silicon: "sd865" (default) or
+	// "sd8gen1".
+	Generation string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = "vgg11"
+	}
+	if c.Dataset == "" {
+		c.Dataset = "cifar10"
+	}
+	if c.Strategy == "" {
+		c.Strategy = "socflow"
+	}
+	if c.NumSoCs == 0 {
+		c.NumSoCs = 32
+	}
+	if c.Groups == 0 {
+		c.Groups = 8
+	}
+	if c.Groups < 0 {
+		c.Groups = -1 // auto via the warm-up heuristic
+	}
+	if c.Mixed == "" {
+		c.Mixed = "auto"
+	}
+	if c.GlobalBatch == 0 {
+		c.GlobalBatch = 16
+	}
+	if c.PaperBatch == 0 {
+		c.PaperBatch = 64
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LR == 0 {
+		c.LR = 0.02
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.TrainSamples == 0 {
+		c.TrainSamples = 768
+	}
+	if c.ValSamples == 0 {
+		c.ValSamples = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Generation == "" {
+		c.Generation = "sd865"
+	}
+	return c
+}
+
+// Models returns the model catalog (Table 2 of the paper).
+func Models() []string { return nn.ModelNames() }
+
+// Datasets returns the dataset catalog (Table 2 of the paper).
+func Datasets() []string { return dataset.Names() }
+
+// Strategies returns the available strategies: SoCFlow plus the six
+// baselines of §4.1.
+func Strategies() []string {
+	return []string{"socflow", "ps", "ring", "hipress", "2dparal", "fedavg", "tfedavg"}
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Strategy is the strategy that produced the report.
+	Strategy string
+	// Model and Dataset echo the configuration.
+	Model, Dataset string
+	// EpochAccuracies is validation accuracy after each epoch.
+	EpochAccuracies []float64
+	// FinalAccuracy and BestAccuracy summarize convergence.
+	FinalAccuracy, BestAccuracy float64
+	// SimSeconds is the simulated wall time of the run at paper scale.
+	SimSeconds float64
+	// MeanEpochSeconds is the average simulated epoch time.
+	MeanEpochSeconds float64
+	// EnergyKJ is the fleet training energy in kilojoules.
+	EnergyKJ float64
+	// ComputeSeconds, SyncSeconds, UpdateSeconds attribute the
+	// fleet-aggregated simulated time (Fig. 12's breakdown).
+	ComputeSeconds, SyncSeconds, UpdateSeconds float64
+	// EpochsToTarget and SimSecondsToTarget are set when
+	// TargetAccuracy was reached.
+	EpochsToTarget     int
+	SimSecondsToTarget float64
+	// EstimatedHoursToConverge extrapolates end-to-end training time to
+	// the paper-scale epoch count of the model.
+	EstimatedHoursToConverge float64
+	// Preemptions counts logical-group preemptions served.
+	Preemptions int
+}
+
+// Run executes one training run per the configuration.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	job, clu, err := buildJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := buildStrategy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := strat.Run(job, clu)
+	if err != nil {
+		return nil, err
+	}
+	return reportFrom(cfg, job, res), nil
+}
+
+func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
+	spec, err := nn.GetSpec(cfg.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := dataset.GetProfile(cfg.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gen cluster.SoCGeneration
+	switch cfg.Generation {
+	case "sd865":
+		gen = cluster.Gen865
+	case "sd8gen1":
+		gen = cluster.Gen8Gen1
+	default:
+		return nil, nil, fmt.Errorf("socflow: unknown SoC generation %q", cfg.Generation)
+	}
+	clu := cluster.New(cluster.Config{NumSoCs: cfg.NumSoCs, Generation: gen})
+	// Train and validation must come from one generation pass so they
+	// share class prototypes.
+	pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
+	train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
+	job := &core.Job{
+		Spec:           spec,
+		Train:          train,
+		Val:            val,
+		PaperSamples:   prof.PaperTrainN,
+		GlobalBatch:    cfg.GlobalBatch,
+		PaperBatch:     cfg.PaperBatch,
+		LR:             cfg.LR,
+		Momentum:       cfg.Momentum,
+		Epochs:         cfg.Epochs,
+		TargetAccuracy: cfg.TargetAccuracy,
+		Seed:           cfg.Seed,
+	}
+	return job, clu, nil
+}
+
+func buildStrategy(cfg Config) (core.Strategy, error) {
+	switch cfg.Strategy {
+	case "socflow":
+		mode, err := mixedMode(cfg.Mixed)
+		if err != nil {
+			return nil, err
+		}
+		groups := cfg.Groups
+		if groups < 0 {
+			job, clu, err := buildJob(cfg)
+			if err != nil {
+				return nil, err
+			}
+			groups, err = core.AutoGroupCount(job, clu, cfg.NumSoCs, 0.5)
+			if err != nil {
+				return nil, fmt.Errorf("socflow: group-size heuristic: %w", err)
+			}
+		}
+		return &core.SoCFlow{NumGroups: groups, Mixed: mode}, nil
+	case "ps":
+		return baselines.NewParameterServer(), nil
+	case "ring":
+		return baselines.NewRing(), nil
+	case "hipress":
+		return baselines.NewHiPress(), nil
+	case "2dparal":
+		return baselines.NewTwoDParallel(), nil
+	case "fedavg":
+		return baselines.NewFedAvg(), nil
+	case "tfedavg":
+		return baselines.NewTreeFedAvg(), nil
+	default:
+		return nil, fmt.Errorf("socflow: unknown strategy %q (have %v)", cfg.Strategy, Strategies())
+	}
+}
+
+func mixedMode(s string) (core.MixedMode, error) {
+	switch s {
+	case "auto":
+		return core.MixedAuto, nil
+	case "fp32":
+		return core.MixedOff, nil
+	case "int8":
+		return core.MixedINT8Only, nil
+	case "half":
+		return core.MixedHalf, nil
+	default:
+		return 0, fmt.Errorf("socflow: unknown mixed mode %q", s)
+	}
+}
+
+func reportFrom(cfg Config, job *core.Job, res *core.Result) *Report {
+	return &Report{
+		Strategy:                 res.Strategy,
+		Model:                    cfg.Model,
+		Dataset:                  cfg.Dataset,
+		EpochAccuracies:          res.EpochAccuracies,
+		FinalAccuracy:            res.FinalAccuracy,
+		BestAccuracy:             res.BestAccuracy,
+		SimSeconds:               res.SimSeconds,
+		MeanEpochSeconds:         res.MeanEpochSimSeconds(),
+		EnergyKJ:                 res.EnergyJ / 1000,
+		ComputeSeconds:           res.Breakdown.Compute,
+		SyncSeconds:              res.Breakdown.Sync,
+		UpdateSeconds:            res.Breakdown.Update,
+		EpochsToTarget:           res.EpochsToTarget,
+		SimSecondsToTarget:       res.SimSecondsToTarget,
+		EstimatedHoursToConverge: res.MeanEpochSimSeconds() * float64(job.Spec.EpochsToConverge) / 3600,
+		Preemptions:              res.Preemptions,
+	}
+}

@@ -1,0 +1,182 @@
+package socflow
+
+import (
+	"testing"
+)
+
+func fastCfg(strategy string) Config {
+	return Config{
+		Strategy:     strategy,
+		Model:        "lenet5",
+		Dataset:      "fmnist",
+		NumSoCs:      16,
+		Groups:       4,
+		GlobalBatch:  16,
+		Epochs:       6,
+		TrainSamples: 240,
+		ValSamples:   60,
+		Seed:         3,
+	}
+}
+
+func TestRunDefaultsAndLearns(t *testing.T) {
+	rep, err := Run(fastCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "SoCFlow" || rep.Model != "lenet5" || rep.Dataset != "fmnist" {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if len(rep.EpochAccuracies) != 6 {
+		t.Fatalf("epochs recorded: %d", len(rep.EpochAccuracies))
+	}
+	if rep.SimSeconds <= 0 || rep.EnergyKJ <= 0 || rep.MeanEpochSeconds <= 0 {
+		t.Fatalf("performance fields missing: %+v", rep)
+	}
+	if rep.EstimatedHoursToConverge <= 0 {
+		t.Fatal("extrapolation missing")
+	}
+	if rep.BestAccuracy <= 0.1 {
+		t.Fatalf("did not learn: %v", rep.BestAccuracy)
+	}
+}
+
+func TestRunEveryStrategy(t *testing.T) {
+	for _, s := range Strategies() {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			rep, err := Run(fastCfg(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SimSeconds <= 0 {
+				t.Fatalf("%s: no simulated time", s)
+			}
+		})
+	}
+}
+
+func TestRunMixedModes(t *testing.T) {
+	for _, m := range []string{"auto", "fp32", "int8", "half"} {
+		cfg := fastCfg("socflow")
+		cfg.Mixed = m
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("mixed mode %q: %v", m, err)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cases := []Config{
+		{Model: "alexnet"},
+		{Dataset: "imagenet"},
+		{Strategy: "magic"},
+		{Mixed: "fp64"},
+		{Generation: "sd999"},
+	}
+	for _, c := range cases {
+		if _, err := Run(c); err == nil {
+			t.Fatalf("config %+v should be rejected", c)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run(fastCfg("socflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastCfg("socflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAccuracy != b.FinalAccuracy || a.SimSeconds != b.SimSeconds {
+		t.Fatalf("same seed must reproduce: %v/%v vs %v/%v",
+			a.FinalAccuracy, a.SimSeconds, b.FinalAccuracy, b.SimSeconds)
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Models()) != 5 || len(Datasets()) != 5 || len(Strategies()) != 7 {
+		t.Fatalf("catalogs: %d models, %d datasets, %d strategies",
+			len(Models()), len(Datasets()), len(Strategies()))
+	}
+}
+
+func TestPlanTopology(t *testing.T) {
+	rep, err := PlanTopology(15, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 5 || len(rep.SplitGroups) != 2 || len(rep.CommunicationGroups) != 2 {
+		t.Fatalf("paper-example topology wrong: %+v", rep)
+	}
+	if _, err := PlanTopology(4, 8, 5); err == nil {
+		t.Fatal("impossible topology must error")
+	}
+}
+
+func TestTidalHelpers(t *testing.T) {
+	prof := TidalProfile()
+	if len(prof) != 24 {
+		t.Fatalf("profile hours: %d", len(prof))
+	}
+	_, hours := IdleWindow(0.2)
+	if hours < 4 {
+		t.Fatalf("idle window %v h, expected the paper's ~4h+ slot", hours)
+	}
+}
+
+func TestRunAutoGroups(t *testing.T) {
+	cfg := fastCfg("socflow")
+	cfg.Groups = -1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestAccuracy <= 0 {
+		t.Fatal("auto-grouped run produced nothing")
+	}
+}
+
+func TestRunDistributedFacade(t *testing.T) {
+	rep, err := RunDistributed(DistributedConfig{
+		NumSoCs:      6,
+		Groups:       2,
+		Epochs:       4,
+		TrainSamples: 300,
+		ValSamples:   60,
+		InProcess:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EpochAccuracies) != 4 || len(rep.Topology) != 2 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	if rep.BestAccuracy < 0.3 {
+		t.Fatalf("distributed facade failed to learn: %v", rep.BestAccuracy)
+	}
+}
+
+func TestRunDistributedFacadeTCP(t *testing.T) {
+	rep, err := RunDistributed(DistributedConfig{
+		NumSoCs:      4,
+		Groups:       2,
+		Epochs:       2,
+		TrainSamples: 160,
+		ValSamples:   40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EpochAccuracies) != 2 {
+		t.Fatalf("TCP facade incomplete: %+v", rep)
+	}
+}
+
+func TestRunDistributedFacadeRejectsBadModel(t *testing.T) {
+	if _, err := RunDistributed(DistributedConfig{Model: "gpt3"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
