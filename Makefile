@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
+		./internal/core ./internal/runtime ./internal/transport
+
+bench:
+	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
+
+ci: vet build test race

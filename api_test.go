@@ -1,0 +1,113 @@
+package socflow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"strings"
+	"testing"
+)
+
+// The options tune execution, never results: the same seeded job must
+// produce bit-identical accuracies and simulated time at any
+// parallelism level (DESIGN.md, "host parallelism vs. simulated
+// concurrency").
+func TestParallelismInvariance(t *testing.T) {
+	seq, err := Run(context.Background(), fastCfg("socflow"), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), fastCfg("socflow"), WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.EpochAccuracies) != len(par.EpochAccuracies) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(seq.EpochAccuracies), len(par.EpochAccuracies))
+	}
+	for e := range seq.EpochAccuracies {
+		if seq.EpochAccuracies[e] != par.EpochAccuracies[e] {
+			t.Fatalf("epoch %d accuracy diverged: %v (p=1) vs %v (p=8)",
+				e, seq.EpochAccuracies[e], par.EpochAccuracies[e])
+		}
+	}
+	if seq.SimSeconds != par.SimSeconds || seq.FinalAccuracy != par.FinalAccuracy {
+		t.Fatalf("results not bit-identical: %v/%v vs %v/%v",
+			seq.FinalAccuracy, seq.SimSeconds, par.FinalAccuracy, par.SimSeconds)
+	}
+}
+
+// cancelAfterWriter cancels a context after n writes; wiring it as the
+// trace writer cancels the run from inside the epoch boundary.
+type cancelAfterWriter struct {
+	n      int
+	cancel context.CancelFunc
+	buf    bytes.Buffer
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	w.n--
+	if w.n <= 0 {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &cancelAfterWriter{n: 1, cancel: cancel}
+
+	cfg := fastCfg("socflow") // 6 epochs; we cancel after the first
+	_, err := Run(ctx, cfg, WithTrace(w))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(w.buf.String(), "epoch 1") {
+		t.Fatalf("trace missing first epoch line: %q", w.buf.String())
+	}
+	if strings.Count(w.buf.String(), "epoch") > 2 {
+		t.Fatalf("run kept training after cancel: %q", w.buf.String())
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, fastCfg("socflow")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunDistributedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &cancelAfterWriter{n: 1, cancel: cancel}
+
+	_, err := RunDistributed(ctx, DistributedConfig{
+		JobSpec:   JobSpec{Epochs: 6, TrainSamples: 300, ValSamples: 60},
+		NumSoCs:   4,
+		Groups:    2,
+		InProcess: true,
+	}, WithTrace(w))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTraceAndLogger(t *testing.T) {
+	var trace, logs bytes.Buffer
+	cfg := fastCfg("socflow")
+	cfg.Epochs = 2
+	if _, err := Run(context.Background(), cfg,
+		WithTrace(&trace), WithLogger(log.New(&logs, "", 0))); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(trace.String(), "epoch"); got != 2 {
+		t.Fatalf("trace lines: %d, want 2 (%q)", got, trace.String())
+	}
+	if !strings.Contains(logs.String(), "run: SoCFlow") {
+		t.Fatalf("logger missing run line: %q", logs.String())
+	}
+}

@@ -4,13 +4,15 @@
 // Example:
 //
 //	socflow-train --model resnet18 --dataset cifar10 --socs 32 \
-//	    --groups 8 --strategy socflow --epochs 12
+//	    --groups 8 --strategy socflow --epochs 12 --parallel 4 --trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"socflow"
@@ -30,11 +32,26 @@ func main() {
 	flag.Float64Var(&cfg.TargetAccuracy, "target", 0, "stop at this validation accuracy (0 = run all epochs)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	gen := flag.String("gen", "sd865", "SoC generation: sd865|sd8gen1")
+	par := flag.Int("parallel", 0, "host worker threads (0 = all CPUs)")
+	trace := flag.Bool("trace", false, "stream per-epoch progress to stderr")
 	flag.Parse()
 	cfg.Seed = *seed
 	cfg.Generation = *gen
 
-	rep, err := socflow.Run(cfg)
+	// Ctrl-C cancels the run between iterations instead of killing the
+	// process mid-epoch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []socflow.Option
+	if *par > 0 {
+		opts = append(opts, socflow.WithParallelism(*par))
+	}
+	if *trace {
+		opts = append(opts, socflow.WithTrace(os.Stderr))
+	}
+
+	rep, err := socflow.Run(ctx, cfg, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "socflow-train:", err)
 		os.Exit(1)

@@ -1,6 +1,7 @@
 package socflow
 
 import (
+	"context"
 	"fmt"
 
 	"socflow/internal/core"
@@ -10,6 +11,21 @@ import (
 	"socflow/internal/transport"
 )
 
+// defaultDistSpec fills DistributedConfig's zero JobSpec fields. The
+// distributed engine spawns one goroutine per SoC, so its defaults are
+// laptop-sized.
+var defaultDistSpec = JobSpec{
+	Model:        "lenet5",
+	Dataset:      "fmnist",
+	Epochs:       6,
+	GlobalBatch:  16,
+	LR:           0.03,
+	Momentum:     0.9,
+	Seed:         1,
+	TrainSamples: 640,
+	ValSamples:   128,
+}
+
 // DistributedConfig configures RunDistributed: the same training job
 // shape as Config, executed by real concurrent workers — one goroutine
 // per SoC exchanging tensors over loopback TCP (or in-process channels)
@@ -17,22 +33,16 @@ import (
 // logical groups per batch, a leader ring across groups per epoch, and
 // cross-group data reshuffling.
 type DistributedConfig struct {
-	// Model and Dataset are catalog names (see Models, Datasets).
-	Model, Dataset string
+	// JobSpec carries the shared job fields. Defaults: Model "lenet5",
+	// Dataset "fmnist", Epochs 6, GlobalBatch 16 (the per-group batch,
+	// split across group members), LR 0.03, Momentum 0.9, Seed 1,
+	// TrainSamples 640, ValSamples 128.
+	JobSpec
 	// NumSoCs is the worker count (default 8; each worker is a
 	// goroutine plus its TCP links, so keep this laptop-sized).
 	NumSoCs int
 	// Groups is the logical-group count (default 2).
 	Groups int
-	// Epochs, GroupBatch, LR, Momentum, Seed as in Config.
-	Epochs     int
-	GroupBatch int
-	LR         float32
-	Momentum   float32
-	Seed       uint64
-	// TrainSamples/ValSamples size the synthetic datasets (defaults
-	// 640/128).
-	TrainSamples, ValSamples int
 	// InProcess swaps the loopback-TCP mesh (default) for in-process
 	// channels — faster and fully deterministic, same protocol.
 	InProcess bool
@@ -53,48 +63,27 @@ type DistributedReport struct {
 // per group and prices time on the simulated cluster — this actually
 // spawns one worker per SoC and moves every gradient over the
 // transport. Use it to demonstrate or debug the protocol itself.
-func RunDistributed(cfg DistributedConfig) (*DistributedReport, error) {
-	if cfg.Model == "" {
-		cfg.Model = "lenet5"
-	}
-	if cfg.Dataset == "" {
-		cfg.Dataset = "fmnist"
-	}
+// Cancelling ctx tears down the mesh, unwinds the workers, and returns
+// ctx.Err().
+func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) (*DistributedReport, error) {
+	o := gatherOptions(opts)
+	defer o.apply()()
+
+	cfg.JobSpec = cfg.JobSpec.WithDefaults(defaultDistSpec)
 	if cfg.NumSoCs == 0 {
 		cfg.NumSoCs = 8
 	}
 	if cfg.Groups == 0 {
 		cfg.Groups = 2
 	}
-	if cfg.Epochs == 0 {
-		cfg.Epochs = 6
-	}
-	if cfg.GroupBatch == 0 {
-		cfg.GroupBatch = 16
-	}
-	if cfg.LR == 0 {
-		cfg.LR = 0.03
-	}
-	if cfg.Momentum == 0 {
-		cfg.Momentum = 0.9
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.TrainSamples == 0 {
-		cfg.TrainSamples = 640
-	}
-	if cfg.ValSamples == 0 {
-		cfg.ValSamples = 128
-	}
 
 	spec, err := nn.GetSpec(cfg.Model)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, cfg.Model, Models())
 	}
 	prof, err := dataset.GetProfile(cfg.Dataset)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
 	}
 	pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
 	train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
@@ -113,14 +102,17 @@ func RunDistributed(cfg DistributedConfig) (*DistributedReport, error) {
 		mesh = tcp
 	}
 
-	res, err := runtime.RunDistributed(mesh, spec, train, val, runtime.DistConfig{
-		Groups:     runtime.GroupsFromMapping(mapping),
-		Epochs:     cfg.Epochs,
-		GroupBatch: cfg.GroupBatch,
-		LR:         cfg.LR,
-		Momentum:   cfg.Momentum,
-		Seed:       cfg.Seed,
-	})
+	if o.logger != nil {
+		o.logger.Printf("distributed run: %s on %s, %d SoCs in %d groups", cfg.Model, cfg.Dataset, cfg.NumSoCs, cfg.Groups)
+	}
+	dcfg := runtime.DistConfig{
+		JobSpec: cfg.JobSpec,
+		Groups:  runtime.GroupsFromMapping(mapping),
+	}
+	if hook := o.epochHook(); hook != nil {
+		dcfg.EpochEnd = func(epoch int, acc float64) { hook(epoch, acc, 0) }
+	}
+	res, err := runtime.RunDistributed(ctx, mesh, spec, train, val, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,4 +123,11 @@ func RunDistributed(cfg DistributedConfig) (*DistributedReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// RunDistributedDefault is the old zero-option entry point.
+//
+// Deprecated: use RunDistributed with a context and options.
+func RunDistributedDefault(cfg DistributedConfig) (*DistributedReport, error) {
+	return RunDistributed(context.Background(), cfg)
 }

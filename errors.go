@@ -1,0 +1,24 @@
+package socflow
+
+import "errors"
+
+// Sentinel validation errors. Every configuration error returned by
+// Run, RunDistributed, and PlanTopology wraps one of these, so callers
+// can branch with errors.Is instead of matching message strings; the
+// wrapped message still carries the offending value.
+var (
+	// ErrUnknownModel reports a model name outside Models().
+	ErrUnknownModel = errors.New("socflow: unknown model")
+	// ErrUnknownDataset reports a dataset name outside Datasets().
+	ErrUnknownDataset = errors.New("socflow: unknown dataset")
+	// ErrUnknownStrategy reports a strategy name outside Strategies().
+	ErrUnknownStrategy = errors.New("socflow: unknown strategy")
+	// ErrUnknownMixedMode reports a Mixed value outside
+	// auto/fp32/int8/half.
+	ErrUnknownMixedMode = errors.New("socflow: unknown mixed mode")
+	// ErrUnknownGeneration reports a Generation value outside
+	// sd865/sd8gen1.
+	ErrUnknownGeneration = errors.New("socflow: unknown SoC generation")
+	// ErrBadTopology reports inconsistent PlanTopology arguments.
+	ErrBadTopology = errors.New("socflow: invalid topology")
+)

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -60,7 +62,7 @@ func main() {
 		Epochs:       epochs,
 		Seed:         3,
 	}
-	res, err := (&core.SoCFlow{NumGroups: groups, Preempt: plan}).Run(job, clu)
+	res, err := (&core.SoCFlow{NumGroups: groups, Preempt: plan}).Run(context.Background(), job, clu)
 	if err != nil {
 		log.Fatal(err)
 	}

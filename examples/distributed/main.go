@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,13 +38,9 @@ func main() {
 	train, val := pool.Split(0.85)
 
 	start := time.Now()
-	res, err := runtime.RunDistributed(mesh, nn.MustSpec("lenet5"), train, val, runtime.DistConfig{
-		Groups:     runtime.GroupsFromMapping(mapping),
-		Epochs:     8,
-		GroupBatch: 20,
-		LR:         0.03,
-		Momentum:   0.9,
-		Seed:       8,
+	res, err := runtime.RunDistributed(context.Background(), mesh, nn.MustSpec("lenet5"), train, val, runtime.DistConfig{
+		JobSpec: core.JobSpec{Epochs: 8, GlobalBatch: 20, LR: 0.03, Momentum: 0.9, Seed: 8},
+		Groups:  runtime.GroupsFromMapping(mapping),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,30 +4,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"socflow"
 )
 
 func main() {
+	ctx := context.Background()
 	base := socflow.Config{
-		Model:   "vgg11",
-		Dataset: "cifar10",
+		JobSpec: socflow.JobSpec{
+			Model:   "vgg11",
+			Dataset: "cifar10",
+			Epochs:  8,
+		},
 		NumSoCs: 32,
 		Groups:  8,
-		Epochs:  8,
 	}
 
 	fmt.Println("training VGG-11/CIFAR-10 on a simulated 32-SoC cluster...")
-	ours, err := socflow.Run(base)
+	ours, err := socflow.Run(ctx, base, socflow.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	ring := base
 	ring.Strategy = "ring"
-	baseline, err := socflow.Run(ring)
+	baseline, err := socflow.Run(ctx, ring, socflow.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}

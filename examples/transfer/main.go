@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -58,7 +60,7 @@ func main() {
 	clu := cluster.New(cluster.Config{NumSoCs: 32})
 
 	// Scratch baseline for contrast.
-	scratch, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff}).Run(job, clu)
+	scratch, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff}).Run(context.Background(), job, clu)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	// its Seed; to warm-start we wrap the strategy with a pre-seeded
 	// reference via WarmStart.
 	fineJob := *job
-	fine, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff, WarmStart: pretrained}).Run(&fineJob, clu)
+	fine, err := (&core.SoCFlow{NumGroups: 8, Mixed: core.MixedOff, WarmStart: pretrained}).Run(context.Background(), &fineJob, clu)
 	if err != nil {
 		log.Fatal(err)
 	}

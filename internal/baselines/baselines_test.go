@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"testing"
 
 	"socflow/internal/cluster"
@@ -47,7 +49,7 @@ func TestAllBaselinesRunAndLearn(t *testing.T) {
 	for _, s := range All() {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
-			res, err := s.Run(job, clu)
+			res, err := s.Run(context.Background(), job, clu)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +73,7 @@ func TestBaselineOrderingAt32SoCs(t *testing.T) {
 	job := testJob(t, 1)
 	epoch := map[string]float64{}
 	for _, s := range All() {
-		res, err := s.Run(job, clu)
+		res, err := s.Run(context.Background(), job, clu)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -99,12 +101,12 @@ func TestSoCFlowBeatsSyncBaselinesPerEpoch(t *testing.T) {
 	// synchronous baseline's (PS, RING, HiPress, 2D-Paral).
 	clu := cluster.New(cluster.Config{NumSoCs: 32})
 	job := testJob(t, 1)
-	sf, err := (&core.SoCFlow{NumGroups: 8}).Run(job, clu)
+	sf, err := (&core.SoCFlow{NumGroups: 8}).Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range All()[:4] {
-		res, err := s.Run(job, clu)
+		res, err := s.Run(context.Background(), job, clu)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -122,11 +124,11 @@ func TestSoCFlowBeatsFedAvgToTarget(t *testing.T) {
 	clu := cluster.New(cluster.Config{NumSoCs: 32})
 	job := testJob(t, 15)
 	job.TargetAccuracy = 1.0/float64(job.Train.Classes) + 0.25
-	sf, err := (&core.SoCFlow{NumGroups: 8}).Run(job, clu)
+	sf, err := (&core.SoCFlow{NumGroups: 8}).Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fa, err := NewFedAvg().Run(job, clu)
+	fa, err := NewFedAvg().Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +148,11 @@ func TestBaselinesScaleWorseThanSoCFlow(t *testing.T) {
 	// SoCFlow's shrinks (more groups, same per-group sync).
 	job := testJob(t, 1)
 	ring := NewRing()
-	r8, err := ring.Run(job, cluster.New(cluster.Config{NumSoCs: 8}))
+	r8, err := ring.Run(context.Background(), job, cluster.New(cluster.Config{NumSoCs: 8}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r32, err := ring.Run(job, cluster.New(cluster.Config{NumSoCs: 32}))
+	r32, err := ring.Run(context.Background(), job, cluster.New(cluster.Config{NumSoCs: 32}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +160,11 @@ func TestBaselinesScaleWorseThanSoCFlow(t *testing.T) {
 		t.Fatalf("RING should slow down with scale: 8 SoCs %v, 32 SoCs %v",
 			r8.MeanEpochSimSeconds(), r32.MeanEpochSimSeconds())
 	}
-	s8, err := (&core.SoCFlow{NumGroups: 2}).Run(job, cluster.New(cluster.Config{NumSoCs: 8}))
+	s8, err := (&core.SoCFlow{NumGroups: 2}).Run(context.Background(), job, cluster.New(cluster.Config{NumSoCs: 8}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s32, err := (&core.SoCFlow{NumGroups: 8}).Run(job, cluster.New(cluster.Config{NumSoCs: 32}))
+	s32, err := (&core.SoCFlow{NumGroups: 8}).Run(context.Background(), job, cluster.New(cluster.Config{NumSoCs: 32}))
 	if err != nil {
 		t.Fatal(err)
 	}

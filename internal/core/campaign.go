@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -135,7 +136,7 @@ type CampaignResult struct {
 // Run executes the campaign. The job's Epochs field is the total
 // functional-epoch budget; TargetAccuracy (if set) ends the campaign
 // early.
-func (c *Campaign) Run(job *Job, clu *cluster.Cluster) (*CampaignResult, error) {
+func (c *Campaign) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*CampaignResult, error) {
 	if c.Strategy == nil {
 		return nil, fmt.Errorf("core: campaign needs a strategy")
 	}
@@ -188,7 +189,7 @@ func (c *Campaign) Run(job *Job, clu *cluster.Cluster) (*CampaignResult, error) 
 			// Vary the data order per global epoch; a fixed seed would
 			// replay the same shard split and batch order every night.
 			epochJob.Seed = job.Seed + uint64(epochsDone)*131
-			r, err := strat.Run(&epochJob, clu)
+			r, err := strat.Run(ctx, &epochJob, clu)
 			if err != nil {
 				return nil, err
 			}

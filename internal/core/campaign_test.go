@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 )
@@ -51,7 +53,7 @@ func TestCampaignSpansNights(t *testing.T) {
 		WindowHours: 0.012,
 		MaxNights:   10,
 	}
-	res, err := camp.Run(job, clu)
+	res, err := camp.Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestCampaignPersistsAndResumes(t *testing.T) {
 			MaxNights:   1, // one night per process "restart"
 		}
 	}
-	first, err := mk().Run(job, clu)
+	first, err := mk().Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestCampaignPersistsAndResumes(t *testing.T) {
 	}
 	doneSoFar := cp.Epoch
 
-	second, err := mk().Run(job, clu)
+	second, err := mk().Run(context.Background(), job, clu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +120,10 @@ func TestCampaignPersistsAndResumes(t *testing.T) {
 
 func TestCampaignValidation(t *testing.T) {
 	job := testJob(t, 60, 1)
-	if _, err := (&Campaign{WindowHours: 1}).Run(job, clu32()); err == nil {
+	if _, err := (&Campaign{WindowHours: 1}).Run(context.Background(), job, clu32()); err == nil {
 		t.Fatal("missing strategy must error")
 	}
-	if _, err := (&Campaign{Strategy: &SoCFlow{NumGroups: 2}}).Run(job, clu32()); err == nil {
+	if _, err := (&Campaign{Strategy: &SoCFlow{NumGroups: 2}}).Run(context.Background(), job, clu32()); err == nil {
 		t.Fatal("zero window must error")
 	}
 }

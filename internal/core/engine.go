@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"socflow/internal/cluster"
@@ -39,6 +40,19 @@ type Job struct {
 	TargetAccuracy float64
 	// Seed makes the whole run reproducible.
 	Seed uint64
+	// EpochEnd, when non-nil, is invoked by every strategy after each
+	// functional epoch (or federated round) with the 0-based epoch, the
+	// validation accuracy, and the simulated epoch time. It runs on the
+	// strategy's goroutine, outside any parallel section, so it may
+	// write logs or cancel the run's context.
+	EpochEnd func(epoch int, acc, simSeconds float64)
+}
+
+// epochEnd invokes the EpochEnd hook if one is installed.
+func (j *Job) epochEnd(epoch int, acc, simSeconds float64) {
+	if j.EpochEnd != nil {
+		j.EpochEnd(epoch, acc, simSeconds)
+	}
 }
 
 // PricingBatch returns the batch size the performance track prices
@@ -161,8 +175,10 @@ func (r *Result) MeanEpochSimSeconds() float64 {
 type Strategy interface {
 	// Name returns the display name used in experiment tables.
 	Name() string
-	// Run trains the job on the cluster and reports the result.
-	Run(job *Job, clu *cluster.Cluster) (*Result, error)
+	// Run trains the job on the cluster and reports the result. It
+	// checks ctx between training iterations and returns ctx.Err()
+	// promptly after cancellation.
+	Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Result, error)
 }
 
 // evalAccuracy computes validation accuracy of a model in eval mode,

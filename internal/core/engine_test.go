@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bytes"
 	"io"
 	"testing"
@@ -42,7 +44,7 @@ func clu32() *cluster.Cluster { return cluster.New(cluster.Config{NumSoCs: 32}) 
 func TestSoCFlowRunImprovesAccuracy(t *testing.T) {
 	job := testJob(t, 480, 8)
 	s := &SoCFlow{NumGroups: 8}
-	res, err := s.Run(job, clu32())
+	res, err := s.Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,15 +65,15 @@ func TestSoCFlowRunImprovesAccuracy(t *testing.T) {
 
 func TestSoCFlowValidation(t *testing.T) {
 	job := testJob(t, 100, 1)
-	if _, err := (&SoCFlow{}).Run(job, clu32()); err == nil {
+	if _, err := (&SoCFlow{}).Run(context.Background(), job, clu32()); err == nil {
 		t.Fatal("NumGroups 0 must error")
 	}
-	if _, err := (&SoCFlow{NumGroups: 64}).Run(job, clu32()); err == nil {
+	if _, err := (&SoCFlow{NumGroups: 64}).Run(context.Background(), job, clu32()); err == nil {
 		t.Fatal("more groups than SoCs must error")
 	}
 	bad := *job
 	bad.GlobalBatch = 0
-	if _, err := (&SoCFlow{NumGroups: 4}).Run(&bad, clu32()); err == nil {
+	if _, err := (&SoCFlow{NumGroups: 4}).Run(context.Background(), &bad, clu32()); err == nil {
 		t.Fatal("invalid job must error")
 	}
 }
@@ -81,7 +83,7 @@ func TestSoCFlowFasterEpochsThanRing(t *testing.T) {
 	// delayed aggregation beats fleet-wide per-batch ring sync on
 	// simulated epoch time by an order of magnitude.
 	job := testJob(t, 320, 2)
-	sf, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(job, clu32())
+	sf, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestSoCFlowFasterEpochsThanRing(t *testing.T) {
 			return collective.RingAllReduceTime(clu, AllSoCs(clu), float64(spec.GradBytes()))
 		},
 	}
-	rr, err := ring.Run(job, clu32())
+	rr, err := ring.Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +105,11 @@ func TestSoCFlowFasterEpochsThanRing(t *testing.T) {
 
 func TestSoCFlowMixedFasterThanFP32(t *testing.T) {
 	job := testJob(t, 320, 2)
-	mixed, err := (&SoCFlow{NumGroups: 8, Mixed: MixedAuto}).Run(job, clu32())
+	mixed, err := (&SoCFlow{NumGroups: 8, Mixed: MixedAuto}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp32, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(job, clu32())
+	fp32, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,19 +122,19 @@ func TestSoCFlowAblationLadderMonotone(t *testing.T) {
 	// Fig. 13: each technique must not slow the run down; the full
 	// ladder must be clearly faster than the bare grouped variant.
 	job := testJob(t, 320, 2)
-	worst, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisableMapping: true, DisablePlanning: true}).Run(job, clu32())
+	worst, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisableMapping: true, DisablePlanning: true}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mapped, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisablePlanning: true}).Run(job, clu32())
+	mapped, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisablePlanning: true}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	planned, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(job, clu32())
+	planned, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := (&SoCFlow{NumGroups: 8, Mixed: MixedAuto}).Run(job, clu32())
+	full, err := (&SoCFlow{NumGroups: 8, Mixed: MixedAuto}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestSoCFlowAblationLadderMonotone(t *testing.T) {
 func TestSoCFlowTargetAccuracyEarlyStop(t *testing.T) {
 	job := testJob(t, 480, 20)
 	job.TargetAccuracy = 0.3
-	res, err := (&SoCFlow{NumGroups: 4}).Run(job, clu32())
+	res, err := (&SoCFlow{NumGroups: 4}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestSoCFlowTargetAccuracyEarlyStop(t *testing.T) {
 func TestSoCFlowPreemption(t *testing.T) {
 	job := testJob(t, 480, 8)
 	plan := &PreemptionPlan{ByEpoch: map[int][]int{1: {0, 1}, 2: {3}}}
-	res, err := (&SoCFlow{NumGroups: 4, Preempt: plan}).Run(job, clu32())
+	res, err := (&SoCFlow{NumGroups: 4, Preempt: plan}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestSyncSGDRunsAndLearns(t *testing.T) {
 			return collective.RingAllReduceTime(clu, AllSoCs(clu), float64(spec.GradBytes()))
 		},
 	}
-	res, err := ring.Run(job, clu32())
+	res, err := ring.Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestSyncSGDWithCompressionLearns(t *testing.T) {
 		},
 		Compressor: collective.NewTopKCompressor(0.05),
 	}
-	res, err := hp.Run(job, clu32())
+	res, err := hp.Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,11 +239,11 @@ func TestFedSGDRunsAndIsSlowerToConverge(t *testing.T) {
 			return collective.PSTime(clu, AllSoCs(clu), 0, float64(spec.GradBytes()))
 		},
 	}
-	fr, err := fed.Run(job, clu32())
+	fr, err := fed.Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := (&SoCFlow{NumGroups: 8}).Run(job, clu32())
+	sf, err := (&SoCFlow{NumGroups: 8}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +333,7 @@ func TestReadCheckpointRejectsGarbage(t *testing.T) {
 
 func TestAutoGroupCount(t *testing.T) {
 	job := testJob(t, 320, 1)
-	n, err := AutoGroupCount(job, clu32(), 8, 0.6)
+	n, err := AutoGroupCount(context.Background(), job, clu32(), 8, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,11 +352,11 @@ func TestUnderclockingRebalancing(t *testing.T) {
 		clu.SetThrottle(2, 0.5)
 		return clu
 	}
-	balanced, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(job, mkClu())
+	balanced, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff}).Run(context.Background(), job, mkClu())
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisableRebalance: true}).Run(job, mkClu())
+	naive, err := (&SoCFlow{NumGroups: 8, Mixed: MixedOff, DisableRebalance: true}).Run(context.Background(), job, mkClu())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,11 +370,11 @@ func TestLRScheduleApplied(t *testing.T) {
 	job := testJob(t, 160, 4)
 	job.LRSchedule = nn.StepLR{Base: 0.02, Gamma: 0.1, StepSize: 2}
 	// Schedules must not break training or determinism.
-	a, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(job, clu32())
+	a, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(job, clu32())
+	b, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+
 	"socflow/internal/cluster"
 	"socflow/internal/collective"
 	"socflow/internal/dataset"
 	"socflow/internal/nn"
+	"socflow/internal/parallel"
 	"socflow/internal/tensor"
 )
 
@@ -38,7 +41,7 @@ type FedSGD struct {
 func (s *FedSGD) Name() string { return s.StrategyName }
 
 // Run implements Strategy.
-func (s *FedSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+func (s *FedSGD) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,14 +95,24 @@ func (s *FedSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 
 	for round := 0; round < job.Epochs; round++ {
 		lr := job.EpochLR(round)
-		for c := 0; c < clients; c++ {
+		// Federated clients are independent within a round — each owns
+		// its model, optimizer, and shard — exactly as they run in
+		// parallel on the real fleet. Aggregation below stays in fixed
+		// client order, so results are identical at any parallelism.
+		parallel.Do(clients, func(c int) {
 			opts[c].LR = lr
 			it := dataset.NewBatchIterator(shards[c], min(clientBatch, shards[c].Len()), job.Seed+uint64(1000*round+c))
 			steps := it.BatchesPerEpoch() * localEpochs
 			for i := 0; i < steps; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				x, labels := it.Next()
 				plainStep(models[c], opts[c], x, labels)
 			}
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 
 		// Server-side weighted model averaging (FedAvg).
@@ -122,6 +135,7 @@ func (s *FedSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 
 		acc := evalAccuracy(models[0], job.Val)
 		res.observe(acc, roundT, job.TargetAccuracy)
+		job.epochEnd(round, acc, roundT)
 		if res.done(job.TargetAccuracy) {
 			break
 		}

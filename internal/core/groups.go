@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"socflow/internal/cluster"
@@ -87,7 +88,7 @@ func SelectGroupCount(maxGroups int, dropThreshold float64, probe GroupSizeProbe
 // SelectGroupCount's knee rule. This is the "optional heuristic
 // approach" §3.1 describes; production deployments may instead fix N
 // empirically.
-func AutoGroupCount(job *Job, clu *cluster.Cluster, maxGroups int, dropThreshold float64) (int, error) {
+func AutoGroupCount(ctx context.Context, job *Job, clu *cluster.Cluster, maxGroups int, dropThreshold float64) (int, error) {
 	if maxGroups > clu.Config.NumSoCs {
 		maxGroups = clu.Config.NumSoCs
 	}
@@ -95,7 +96,7 @@ func AutoGroupCount(job *Job, clu *cluster.Cluster, maxGroups int, dropThreshold
 		probeJob := *job
 		probeJob.Epochs = 1
 		probeJob.TargetAccuracy = 0
-		res, err := (&SoCFlow{NumGroups: n, Mixed: MixedOff}).Run(&probeJob, clu)
+		res, err := (&SoCFlow{NumGroups: n, Mixed: MixedOff}).Run(ctx, &probeJob, clu)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,55 @@
+package core
+
+// JobSpec is the shared job description embedded by every public entry
+// point — the simulated facade's Config, the distributed facade's
+// DistributedConfig, and runtime.DistConfig — so the common
+// model/dataset/hyperparameter fields and their defaults exist exactly
+// once instead of being triplicated.
+type JobSpec struct {
+	// Model names the registered architecture (nn.GetSpec).
+	Model string
+	// Dataset names the registered dataset profile.
+	Dataset string
+	// Epochs is the functional-epoch (or federated-round) budget.
+	Epochs int
+	// GlobalBatch is BS_g, the per-logical-group global batch size.
+	GlobalBatch int
+	// LR and Momentum configure SGD.
+	LR, Momentum float32
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// TrainSamples and ValSamples size the micro functional datasets.
+	TrainSamples, ValSamples int
+}
+
+// WithDefaults returns a copy of s with every zero field filled from d.
+func (s JobSpec) WithDefaults(d JobSpec) JobSpec {
+	if s.Model == "" {
+		s.Model = d.Model
+	}
+	if s.Dataset == "" {
+		s.Dataset = d.Dataset
+	}
+	if s.Epochs == 0 {
+		s.Epochs = d.Epochs
+	}
+	if s.GlobalBatch == 0 {
+		s.GlobalBatch = d.GlobalBatch
+	}
+	if s.LR == 0 {
+		s.LR = d.LR
+	}
+	if s.Momentum == 0 {
+		s.Momentum = d.Momentum
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	if s.TrainSamples == 0 {
+		s.TrainSamples = d.TrainSamples
+	}
+	if s.ValSamples == 0 {
+		s.ValSamples = d.ValSamples
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"socflow/internal/collective"
 	"socflow/internal/dataset"
 	"socflow/internal/nn"
+	"socflow/internal/parallel"
 	"socflow/internal/tensor"
 )
 
@@ -134,7 +136,7 @@ func (g *groupTrainer) evalModel() *nn.Sequential {
 }
 
 // Run implements Strategy.
-func (s *SoCFlow) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -235,10 +237,19 @@ func (s *SoCFlow) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 		}
 
 		// Functional training: each active group walks its shard once.
+		// Groups only interact at epoch-end aggregation — each owns its
+		// model, optimizer, iterator, and RNG — so whole per-group epochs
+		// run concurrently, mirroring the real cluster where logical
+		// groups train simultaneously on disjoint SoCs. Per-group math is
+		// unchanged from the sequential interleaved order, so seeded
+		// results are bit-identical at every parallelism level.
 		iters := groups[active[0]].it.BatchesPerEpoch()
-		for i := 0; i < iters; i++ {
-			for _, g := range active {
-				gt := groups[g]
+		parallel.Do(len(active), func(ai int) {
+			gt := groups[active[ai]]
+			for i := 0; i < iters; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				x, labels := gt.it.Next()
 				if gt.mp != nil {
 					gt.mp.Step(x, labels)
@@ -246,6 +257,9 @@ func (s *SoCFlow) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 					plainStep(gt.model, gt.opt, x, labels)
 				}
 			}
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 
 		// Performance track first: the epoch must be priced with the α
@@ -293,6 +307,10 @@ func (s *SoCFlow) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 
 		acc := evalAccuracy(groups[active[0]].evalModel(), job.Val)
 		res.observe(acc, epochTime, job.TargetAccuracy)
+		job.epochEnd(epoch, acc, epochTime)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.done(job.TargetAccuracy) {
 			break
 		}

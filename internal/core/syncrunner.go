@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"socflow/internal/cluster"
@@ -37,8 +38,10 @@ type SyncSGD struct {
 // Name implements Strategy.
 func (s *SyncSGD) Name() string { return s.StrategyName }
 
-// Run implements Strategy.
-func (s *SyncSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
+// Run implements Strategy. The single shared model makes this strategy
+// sequential at the batch level; host parallelism comes from the tensor
+// kernels inside each forward/backward pass.
+func (s *SyncSGD) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,6 +82,9 @@ func (s *SyncSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 		opt.LR = job.EpochLR(epoch)
 		iters := it.BatchesPerEpoch()
 		for i := 0; i < iters; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			x, labels := it.Next()
 			model.ZeroGrad()
 			logits := model.Forward(x, true)
@@ -104,6 +110,10 @@ func (s *SyncSGD) Run(job *Job, clu *cluster.Cluster) (*Result, error) {
 
 		acc := evalAccuracy(model, job.Val)
 		res.observe(acc, epochT, job.TargetAccuracy)
+		job.epochEnd(epoch, acc, epochT)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.done(job.TargetAccuracy) {
 			break
 		}

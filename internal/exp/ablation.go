@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"socflow/internal/cluster"
@@ -23,11 +25,11 @@ func ExpFig4c(o Options) (*Table, error) {
 		{Label: "ResNet-18", Model: "resnet18", Dataset: "cifar10", GlobalBatch: 64},
 	} {
 		job := jobFor(sc, o)
-		fp, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}).Run(job, clu)
+		fp, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
-		i8, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedINT8Only}).Run(job, clu)
+		i8, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedINT8Only}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +57,7 @@ func ExpFig6(model string, o Options) (*Table, error) {
 			break
 		}
 		job := jobFor(sc, o)
-		res, err := (&core.SoCFlow{NumGroups: n, Mixed: core.MixedOff}).Run(job, clu)
+		res, err := (&core.SoCFlow{NumGroups: n, Mixed: core.MixedOff}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +91,7 @@ func ExpFig12(model string, o Options) (*Table, error) {
 		if !keep[strat.Name()] {
 			continue
 		}
-		res, err := strat.Run(job, clu)
+		res, err := strat.Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +139,7 @@ func ExpFig13(model string, o Options) (*Table, error) {
 	}
 	prev := 0.0
 	for _, v := range variants {
-		res, err := v.strat.Run(job, clu)
+		res, err := v.strat.Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +182,7 @@ func ExpFig14(model string, o Options) (*Table, error) {
 	}
 	for _, m := range modes {
 		job := jobFor(sc, o)
-		res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: m.mode}).Run(job, clu)
+		res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: m.mode}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}

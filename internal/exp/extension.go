@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"socflow/internal/baselines"
@@ -36,17 +38,17 @@ func ExpNonIID(o Options) (*Table, error) {
 	}
 	for _, v := range []variant{{"IID", 0}, {"alpha=0.5", 0.5}, {"alpha=0.1", 0.1}} {
 		job := jobFor(sc, o)
-		ours, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DirichletAlpha: v.alpha}).Run(job, clu)
+		ours, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DirichletAlpha: v.alpha}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
-		frozen, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DirichletAlpha: v.alpha, DisableReshuffle: true}).Run(job, clu)
+		frozen, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, DirichletAlpha: v.alpha, DisableReshuffle: true}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
 		fed := baselines.NewFedAvg().(*core.FedSGD)
 		fed.DirichletAlpha = v.alpha
-		fr, err := fed.Run(job, clu)
+		fr, err := fed.Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +76,7 @@ func ExpHeuristic(model string, o Options) (*Table, error) {
 		},
 	}
 
-	selected, err := core.AutoGroupCount(job, clu, o.NumSoCs, 0.5)
+	selected, err := core.AutoGroupCount(context.Background(), job, clu, o.NumSoCs, 0.5)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +84,7 @@ func ExpHeuristic(model string, o Options) (*Table, error) {
 		if n > o.NumSoCs {
 			break
 		}
-		res, err := (&core.SoCFlow{NumGroups: n, Mixed: core.MixedOff}).Run(job, clu)
+		res, err := (&core.SoCFlow{NumGroups: n, Mixed: core.MixedOff}).Run(context.Background(), job, clu)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +120,7 @@ func ExpUnderclocking(o Options) (*Table, error) {
 		run := func(disable bool) (float64, error) {
 			clu := cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
 			res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff,
-				Thermal: thermal, DisableRebalance: disable}).Run(job, clu)
+				Thermal: thermal, DisableRebalance: disable}).Run(context.Background(), job, clu)
 			if err != nil {
 				return 0, err
 			}
@@ -162,7 +164,7 @@ func ExpPreemption(o Options) (*Table, error) {
 	plan := core.PlanFromTrace(mapping, sched, int(start), job.Epochs)
 
 	// Group-level preemption (SoCFlow's policy).
-	res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, Preempt: plan}).Run(job, clu)
+	res, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff, Preempt: plan}).Run(context.Background(), job, clu)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +183,7 @@ func ExpPreemption(o Options) (*Table, error) {
 	if pausedJob.Epochs < 1 {
 		pausedJob.Epochs = 1
 	}
-	paused, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}).Run(&pausedJob, clu)
+	paused, err := (&core.SoCFlow{NumGroups: o.Groups, Mixed: core.MixedOff}).Run(context.Background(), &pausedJob, clu)
 	if err != nil {
 		return nil, err
 	}

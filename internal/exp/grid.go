@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"socflow/internal/cluster"
@@ -69,7 +71,7 @@ func runGrid(scs []Scenario, o Options) ([]gridRow, error) {
 				row.Cells = append(row.Cells, gridCell{Strategy: strat.Name(), Skipped: true})
 				continue
 			}
-			res, err := strat.Run(job, clu)
+			res, err := strat.Run(context.Background(), job, clu)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", strat.Name(), sc.Label, err)
 			}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"socflow/internal/cluster"
@@ -107,7 +109,7 @@ func ExpFig11(o Options) (*Table, error) {
 			// sync/compute overlap — the regime the paper's 60-SoC
 			// comparison operates in.
 			sf := &core.SoCFlow{NumGroups: 12}
-			res, err := sf.Run(job, clu)
+			res, err := sf.Run(context.Background(), job, clu)
 			if err != nil {
 				return nil, err
 			}

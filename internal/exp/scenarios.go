@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"socflow/internal/baselines"
@@ -155,7 +157,7 @@ func localReference(job *core.Job, clu *cluster.Cluster) (*core.Result, error) {
 		StrategyName: "Local",
 		SyncTime:     func(*cluster.Cluster, *nn.Spec) float64 { return 0 },
 	}
-	return local.Run(job, clu)
+	return local.Run(context.Background(), job, clu)
 }
 
 // fmtHours renders hours, marking non-converged runs like the paper's

@@ -3,8 +3,21 @@ package nn
 import (
 	"math"
 
+	"socflow/internal/parallel"
 	"socflow/internal/tensor"
 )
+
+// elemCutoff mirrors the tensor package's elementwise threshold: below
+// it the fan-out overhead outweighs the loop itself.
+const elemCutoff = 1 << 14
+
+func forElems(n int, fn func(lo, hi int)) {
+	if n < elemCutoff {
+		fn(0, n)
+		return
+	}
+	parallel.For(n, fn)
+}
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
@@ -21,25 +34,29 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	r.mask = r.mask[:len(x.Data)]
 	out := tensor.New(x.Shape...)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
+	forElems(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(grad.Shape...)
-	for i, v := range grad.Data {
-		if r.mask[i] {
-			out.Data[i] = v
+	forElems(len(grad.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r.mask[i] {
+				out.Data[i] = grad.Data[i]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -58,9 +75,11 @@ func NewTanh() *Tanh { return &Tanh{} }
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	out := tensor.New(x.Shape...)
-	for i, v := range x.Data {
-		out.Data[i] = float32(math.Tanh(float64(v)))
-	}
+	forElems(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = float32(math.Tanh(float64(x.Data[i])))
+		}
+	})
 	t.y = out
 	return out
 }
@@ -68,10 +87,12 @@ func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(grad.Shape...)
-	for i, g := range grad.Data {
-		y := t.y.Data[i]
-		out.Data[i] = g * (1 - y*y)
-	}
+	forElems(len(grad.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y := t.y.Data[i]
+			out.Data[i] = grad.Data[i] * (1 - y*y)
+		}
+	})
 	return out
 }
 
@@ -151,7 +172,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	out := tensor.New(n, c)
 	inv := 1 / float32(h*w)
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
 		for ch := 0; ch < c; ch++ {
 			plane := x.Data[(img*c+ch)*h*w : (img*c+ch+1)*h*w]
 			var s float32
@@ -160,7 +181,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 			out.Data[img*c+ch] = s * inv
 		}
-	}
+	})
 	return out
 }
 
@@ -169,7 +190,7 @@ func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
 	dx := tensor.New(g.inShape...)
 	inv := 1 / float32(h*w)
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
 		for ch := 0; ch < c; ch++ {
 			gv := grad.Data[img*c+ch] * inv
 			plane := dx.Data[(img*c+ch)*h*w : (img*c+ch+1)*h*w]
@@ -177,7 +198,7 @@ func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				plane[i] = gv
 			}
 		}
-	}
+	})
 	return dx
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"socflow/internal/parallel"
 	"socflow/internal/tensor"
 )
 
@@ -55,7 +56,9 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.xhat = tensor.New(x.Shape...)
 	cnt := float32(n * h * w)
 
-	for ch := 0; ch < c; ch++ {
+	// Every channel's statistics, running-stat cells, xhat plane, and
+	// output plane are disjoint, so channels normalize independently.
+	parallel.Do(c, func(ch int) {
 		var mean, variance float32
 		if train {
 			var s float64
@@ -92,7 +95,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				out.Data[off+i] = g*xh + bt
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -104,7 +107,7 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := b.shape[0], b.shape[1], b.shape[2], b.shape[3]
 	dx := tensor.New(b.shape...)
 	m := float32(n * h * w)
-	for ch := 0; ch < c; ch++ {
+	parallel.Do(c, func(ch int) {
 		g := b.Gamma.W.Data[ch]
 		var sumDy, sumDyXhat float64
 		for img := 0; img < n; img++ {
@@ -127,7 +130,7 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				dx.Data[off+i] = inv * (dxhat - g*k1 - b.xhat.Data[off+i]*g*k2)
 			}
 		}
-	}
+	})
 	return dx
 }
 

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"socflow/internal/parallel"
 	"socflow/internal/tensor"
 )
 
@@ -62,17 +63,18 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
 
 // nhwcToNCHW converts a [N*H*W, C] row matrix into an NCHW tensor.
+// Images transpose independently into disjoint output blocks.
 func nhwcToNCHW(y *tensor.Tensor, n, h, w, ch int) *tensor.Tensor {
 	out := tensor.New(n, ch, h, w)
 	hw := h * w
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
 		for pos := 0; pos < hw; pos++ {
 			row := y.Data[(img*hw+pos)*ch : (img*hw+pos+1)*ch]
 			for cc, v := range row {
 				out.Data[(img*ch+cc)*hw+pos] = v
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -80,14 +82,14 @@ func nhwcToNCHW(y *tensor.Tensor, n, h, w, ch int) *tensor.Tensor {
 func nchwToNHWC(x *tensor.Tensor, n, ch, h, w int) *tensor.Tensor {
 	out := tensor.New(n*h*w, ch)
 	hw := h * w
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
 		for cc := 0; cc < ch; cc++ {
 			plane := x.Data[(img*ch+cc)*hw : (img*ch+cc+1)*hw]
 			for pos, v := range plane {
 				out.Data[(img*hw+pos)*ch+cc] = v
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -123,8 +125,8 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	d.oh, d.ow = d.P.OutSize(h, w)
 	out := tensor.New(n, c, d.oh, d.ow)
 	k2 := d.P.KH * d.P.KW
-	oi := 0
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
+		oi := img * c * d.oh * d.ow
 		for ch := 0; ch < c; ch++ {
 			cbase := (img*c + ch) * h * w
 			kw := d.Weight.W.Data[ch*k2 : (ch+1)*k2]
@@ -148,7 +150,7 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -157,12 +159,16 @@ func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := d.inShape[0], d.inShape[1], d.inShape[2], d.inShape[3]
 	dx := tensor.New(d.inShape...)
 	k2 := d.P.KH * d.P.KW
-	gi := 0
-	for img := 0; img < n; img++ {
-		for ch := 0; ch < c; ch++ {
+	// Channel-outer so each task owns its filter gradient gw, bias
+	// gradient cell, and every image's dx plane for that channel. The
+	// per-weight accumulation order (ascending image, then window
+	// position) matches the sequential image-outer loop exactly.
+	parallel.Do(c, func(ch int) {
+		kw := d.Weight.W.Data[ch*k2 : (ch+1)*k2]
+		gw := d.Weight.Grad.Data[ch*k2 : (ch+1)*k2]
+		for img := 0; img < n; img++ {
 			cbase := (img*c + ch) * h * w
-			kw := d.Weight.W.Data[ch*k2 : (ch+1)*k2]
-			gw := d.Weight.Grad.Data[ch*k2 : (ch+1)*k2]
+			gi := (img*c + ch) * d.oh * d.ow
 			for oy := 0; oy < d.oh; oy++ {
 				for ox := 0; ox < d.ow; ox++ {
 					g := grad.Data[gi]
@@ -183,7 +189,7 @@ func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 

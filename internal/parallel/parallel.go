@@ -1,0 +1,118 @@
+// Package parallel provides the host-side worker pool behind the
+// functional training track. Every hot loop in tensor, nn, and core
+// fans out through For/Do, so one knob — Set, surfaced publicly as
+// socflow.WithParallelism — governs how many OS threads the whole
+// stack uses.
+//
+// Determinism contract: For and Do never reorder work results. Callers
+// must write to disjoint output ranges (For) or disjoint per-index
+// state (Do) and perform any floating-point reduction themselves in a
+// fixed order afterwards. Under that contract a run is bit-identical
+// at every parallelism level, including 1 — the property the seeded
+// simulation depends on (host parallelism must never change
+// EpochAccuracies or SimSeconds).
+//
+// Nesting is safe: helper goroutines are bounded by a global token
+// semaphore, and a caller that cannot obtain tokens simply runs its
+// chunks inline on its own goroutine, so recursive For/Do calls (e.g.
+// a parallel GEMM inside a concurrently trained logical group) can
+// never deadlock, only degrade to sequential execution.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limiter is one immutable parallelism regime: a target worker count
+// and the token semaphore bounding extra goroutines. Set swaps the
+// whole limiter atomically so in-flight For calls keep the tokens they
+// acquired and release them back to the channel they came from.
+type limiter struct {
+	workers int
+	sem     chan struct{} // nil when workers == 1
+}
+
+var cur atomic.Pointer[limiter]
+
+func init() { Set(runtime.GOMAXPROCS(0)) }
+
+// Set fixes the target parallelism for subsequent For/Do calls.
+// Values below 1 are clamped to 1 (fully sequential). It returns the
+// previous setting so callers can restore it.
+func Set(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	l := &limiter{workers: n}
+	if n > 1 {
+		l.sem = make(chan struct{}, n-1)
+	}
+	if old := cur.Swap(l); old != nil {
+		prev = old.workers
+	} else {
+		prev = 1
+	}
+	return prev
+}
+
+// Workers returns the current target parallelism.
+func Workers() int { return cur.Load().workers }
+
+// For splits [0, n) into at most Workers() contiguous chunks and runs
+// fn(lo, hi) on each, using helper goroutines when pool tokens are
+// available and the calling goroutine otherwise. fn must only write
+// state owned by its [lo, hi) range. For returns when every chunk has
+// finished.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	l := cur.Load()
+	w := l.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if hi < n { // the final chunk always runs inline: free backpressure
+			select {
+			case l.sem <- struct{}{}:
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer func() {
+						<-l.sem
+						wg.Done()
+					}()
+					fn(lo, hi)
+				}(lo, hi)
+				continue
+			default:
+				// Pool saturated (e.g. nested call): run inline.
+			}
+		}
+		fn(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs fn(i) for every i in [0, n), fanning out like For. Each
+// index must own its state; results must be combined by the caller in
+// a fixed order.
+func Do(n int, fn func(i int)) {
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := Set(n)
+	t.Cleanup(func() { Set(prev) })
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 33} {
+		withWorkers(t, w)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryIndex(t *testing.T) {
+	withWorkers(t, 4)
+	n := 100
+	out := make([]int, n)
+	Do(n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int64
+	Do(8, func(i int) {
+		For(64, func(lo, hi int) {
+			For(16, func(lo2, hi2 int) {
+				total.Add(int64((hi - lo) * (hi2 - lo2)))
+			})
+		})
+	})
+	// Each outer index contributes 64*16 inner units.
+	if got := total.Load(); got != 8*64*16 {
+		t.Fatalf("nested work total %d, want %d", got, 8*64*16)
+	}
+}
+
+func TestSetClampsAndRestores(t *testing.T) {
+	prev := Set(0)
+	if Workers() != 1 {
+		t.Fatalf("Set(0) should clamp to 1, got %d", Workers())
+	}
+	Set(-3)
+	if Workers() != 1 {
+		t.Fatalf("Set(-3) should clamp to 1, got %d", Workers())
+	}
+	Set(prev)
+	if Workers() != prev {
+		t.Fatalf("restore failed: %d vs %d", Workers(), prev)
+	}
+}
+
+func TestDefaultIsGOMAXPROCS(t *testing.T) {
+	prev := Set(runtime.GOMAXPROCS(0))
+	defer Set(prev)
+	if Workers() < 1 {
+		t.Fatalf("workers %d", Workers())
+	}
+}

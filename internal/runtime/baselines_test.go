@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"socflow/internal/core"
 	"socflow/internal/dataset"
 	"socflow/internal/nn"
 	"socflow/internal/tensor"
@@ -109,16 +111,12 @@ func TestRunMixedDistributedTrains(t *testing.T) {
 	spec := nn.MustSpec("lenet5")
 	cfg := MixedDistConfig{
 		DistConfig: DistConfig{
-			Groups:     [][]int{{0, 1}, {2, 3}},
-			Epochs:     6,
-			GroupBatch: 24,
-			LR:         0.03,
-			Momentum:   0.9,
-			Seed:       4,
+			JobSpec: core.JobSpec{Epochs: 6, GlobalBatch: 24, LR: 0.03, Momentum: 0.9, Seed: 4},
+			Groups:  [][]int{{0, 1}, {2, 3}},
 		},
 		Beta: 0.75,
 	}
-	res, err := RunMixedDistributed(transport.NewChanMesh(4), spec, train, val, cfg)
+	res, err := RunMixedDistributed(context.Background(), transport.NewChanMesh(4), spec, train, val, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,8 +135,8 @@ func TestRunMixedDistributedValidation(t *testing.T) {
 	train, val := fmnistSplit(t, 60, 3)
 	spec := nn.MustSpec("lenet5")
 	mesh := transport.NewChanMesh(2)
-	if _, err := RunMixedDistributed(mesh, spec, train, val, MixedDistConfig{
-		DistConfig: DistConfig{Groups: [][]int{{0, 1}}, Epochs: 1, GroupBatch: 8, LR: 0.01},
+	if _, err := RunMixedDistributed(context.Background(), mesh, spec, train, val, MixedDistConfig{
+		DistConfig: DistConfig{JobSpec: core.JobSpec{Epochs: 1, GlobalBatch: 8, LR: 0.01}, Groups: [][]int{{0, 1}}},
 		Beta:       0, // invalid
 	}); err == nil {
 		t.Fatal("beta 0 must be rejected")

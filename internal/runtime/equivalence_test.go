@@ -1,10 +1,12 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"socflow/internal/collective"
+	"socflow/internal/core"
 	"socflow/internal/dataset"
 	"socflow/internal/nn"
 	"socflow/internal/tensor"
@@ -29,7 +31,7 @@ func serialReference(spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for g := range models {
 			members := len(cfg.Groups[g])
-			perMember := cfg.GroupBatch / members
+			perMember := cfg.GlobalBatch / members
 			if perMember < 1 {
 				perMember = 1
 			}
@@ -63,15 +65,11 @@ func TestDistributedMatchesSerialLift(t *testing.T) {
 	train, val := pool.Split(0.8)
 	spec := nn.MustSpec("vgg11")
 	cfg := DistConfig{
-		Groups:     [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
-		Epochs:     3,
-		GroupBatch: 16,
-		LR:         0.02,
-		Momentum:   0.9,
-		Seed:       12,
+		JobSpec: core.JobSpec{Epochs: 3, GlobalBatch: 16, LR: 0.02, Momentum: 0.9, Seed: 12},
+		Groups:  [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
 	}
 
-	dist, err := RunDistributed(transport.NewChanMesh(8), spec, train, val, cfg)
+	dist, err := RunDistributed(context.Background(), transport.NewChanMesh(8), spec, train, val, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

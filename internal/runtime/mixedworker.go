@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -31,7 +32,7 @@ type MixedDistConfig struct {
 // trains its share locally; at epoch end each worker merges its pair
 // (Eq. 5), groups aggregate through the leader ring, and data
 // reshuffles across groups.
-func RunMixedDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg MixedDistConfig) (*DistResult, error) {
+func RunMixedDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg MixedDistConfig) (*DistResult, error) {
 	if cfg.ProbeBatch == 0 {
 		cfg.ProbeBatch = 32
 	}
@@ -56,14 +57,16 @@ func RunMixedDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset
 			nodeGroup[m] = g
 		}
 	}
-	if cfg.Epochs <= 0 || cfg.GroupBatch <= 0 {
-		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GroupBatch)
+	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
 	}
 
 	res := &DistResult{}
 	var resMu sync.Mutex
 	errs := make(chan error, numNodes)
 	var wg sync.WaitGroup
+	stop := context.AfterFunc(ctx, func() { mesh.Close() })
+	defer stop()
 	for id := 0; id < numNodes; id++ {
 		if nodeGroup[id] < 0 {
 			continue
@@ -77,6 +80,9 @@ func RunMixedDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset
 		}(id, nodeGroup[id])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case err := <-errs:
 		return nil, err
@@ -103,7 +109,7 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 	mp := core.NewMixedPrecision(ref, build, cfg.LR, cfg.Momentum, cfg.Beta, tensor.NewRNG(cfg.Seed).Split(uint64(node.ID())+50))
 
 	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
-	perMember := cfg.GroupBatch / len(members)
+	perMember := cfg.GlobalBatch / len(members)
 	if perMember < 1 {
 		perMember = 1
 	}
@@ -153,6 +159,9 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 			resMu.Lock()
 			res.EpochAccuracies = append(res.EpochAccuracies, acc)
 			resMu.Unlock()
+			if cfg.EpochEnd != nil {
+				cfg.EpochEnd(epoch, acc)
+			}
 		}
 	}
 	if isGlobalLeader {

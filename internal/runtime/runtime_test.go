@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -246,13 +247,9 @@ func TestRunDistributedTrains(t *testing.T) {
 
 	mapping := core.IntegrityGreedyMap(8, 2, 5)
 	mesh := transport.NewChanMesh(8)
-	res, err := RunDistributed(mesh, spec, train, val, DistConfig{
-		Groups:     GroupsFromMapping(mapping),
-		Epochs:     6,
-		GroupBatch: 16,
-		LR:         0.03,
-		Momentum:   0.9,
-		Seed:       4,
+	res, err := RunDistributed(context.Background(), mesh, spec, train, val, DistConfig{
+		JobSpec: core.JobSpec{Epochs: 6, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+		Groups:  GroupsFromMapping(mapping),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -282,13 +279,9 @@ func TestRunDistributedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mesh.Close()
-	res, err := RunDistributed(mesh, spec, train, val, DistConfig{
-		Groups:     [][]int{{0, 1}, {2, 3}},
-		Epochs:     4,
-		GroupBatch: 16,
-		LR:         0.03,
-		Momentum:   0.9,
-		Seed:       4,
+	res, err := RunDistributed(context.Background(), mesh, spec, train, val, DistConfig{
+		JobSpec: core.JobSpec{Epochs: 4, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+		Groups:  [][]int{{0, 1}, {2, 3}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -311,9 +304,12 @@ func TestRunDistributedTransportAgnostic(t *testing.T) {
 	pool := prof.Generate(dataset.GenOptions{Samples: 200, Seed: 2})
 	train, val := pool.Split(0.8)
 	spec := nn.MustSpec("lenet5")
-	cfg := DistConfig{Groups: [][]int{{0, 1, 2}}, Epochs: 3, GroupBatch: 12, LR: 0.03, Momentum: 0.9, Seed: 6}
+	cfg := DistConfig{
+		JobSpec: core.JobSpec{Epochs: 3, GlobalBatch: 12, LR: 0.03, Momentum: 0.9, Seed: 6},
+		Groups:  [][]int{{0, 1, 2}},
+	}
 
-	chanRes, err := RunDistributed(transport.NewChanMesh(3), spec, train, val, cfg)
+	chanRes, err := RunDistributed(context.Background(), transport.NewChanMesh(3), spec, train, val, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +318,7 @@ func TestRunDistributedTransportAgnostic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tcp.Close()
-	tcpRes, err := RunDistributed(tcp, spec, train, val, cfg)
+	tcpRes, err := RunDistributed(context.Background(), tcp, spec, train, val, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,14 +337,14 @@ func TestRunDistributedValidation(t *testing.T) {
 	mesh := transport.NewChanMesh(4)
 	bad := []DistConfig{
 		{},
-		{Groups: [][]int{{0, 1}}, Epochs: 0, GroupBatch: 8},
-		{Groups: [][]int{{0, 9}}, Epochs: 1, GroupBatch: 8},
-		{Groups: [][]int{{0, 1}, {1, 2}}, Epochs: 1, GroupBatch: 8},
-		{Groups: [][]int{{}}, Epochs: 1, GroupBatch: 8},
+		{JobSpec: core.JobSpec{Epochs: 0, GlobalBatch: 8}, Groups: [][]int{{0, 1}}},
+		{JobSpec: core.JobSpec{Epochs: 1, GlobalBatch: 8}, Groups: [][]int{{0, 9}}},
+		{JobSpec: core.JobSpec{Epochs: 1, GlobalBatch: 8}, Groups: [][]int{{0, 1}, {1, 2}}},
+		{JobSpec: core.JobSpec{Epochs: 1, GlobalBatch: 8}, Groups: [][]int{{}}},
 	}
 	for i, cfg := range bad {
 		cfg.LR = 0.01
-		if _, err := RunDistributed(mesh, spec, train, val, cfg); err == nil {
+		if _, err := RunDistributed(context.Background(), mesh, spec, train, val, cfg); err == nil {
 			t.Fatalf("config %d should be rejected", i)
 		}
 	}

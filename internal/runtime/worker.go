@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -12,19 +13,18 @@ import (
 )
 
 // DistConfig describes a distributed SoCFlow training run on a mesh.
+// The embedded JobSpec supplies the shared hyperparameters: GlobalBatch
+// is BS_g, split evenly across a group's members each iteration, and
+// Seed drives model init, sharding, and batch order — every node
+// derives the identical schedule from it.
 type DistConfig struct {
+	core.JobSpec
 	// Groups maps each logical group to its member node IDs (e.g. from
 	// core.IntegrityGreedyMap).
 	Groups [][]int
-	// Epochs, GroupBatch, LR, Momentum configure training. GroupBatch
-	// is BS_g, split evenly across a group's members each iteration.
-	Epochs     int
-	GroupBatch int
-	LR         float32
-	Momentum   float32
-	// Seed drives model init, sharding, and batch order; every node
-	// derives the identical schedule from it.
-	Seed uint64
+	// EpochEnd, when non-nil, is called by the global leader after each
+	// epoch with the 0-based epoch and validation accuracy.
+	EpochEnd func(epoch int, acc float64)
 }
 
 // DistResult is what RunDistributed reports.
@@ -45,7 +45,10 @@ type DistResult struct {
 // to their members (delayed aggregation); shards reshuffle across
 // groups between epochs. The protocol, message layout, and schedule
 // are what the paper's prototype runs over TCP.
-func RunDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig) (*DistResult, error) {
+//
+// Cancelling ctx closes the mesh, which errors out any worker blocked
+// in a collective; RunDistributed then returns ctx.Err().
+func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig) (*DistResult, error) {
 	numNodes := mesh.Size()
 	if len(cfg.Groups) == 0 {
 		return nil, fmt.Errorf("runtime: no groups")
@@ -70,14 +73,19 @@ func RunDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Data
 			nodeGroup[m] = g
 		}
 	}
-	if cfg.Epochs <= 0 || cfg.GroupBatch <= 0 {
-		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GroupBatch)
+	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
 	}
 
 	res := &DistResult{}
 	var resMu sync.Mutex
 	errs := make(chan error, numNodes)
 	var wg sync.WaitGroup
+
+	// Workers block in collectives, not on ctx; closing the mesh on
+	// cancellation errors those calls out so every worker unwinds.
+	stop := context.AfterFunc(ctx, func() { mesh.Close() })
+	defer stop()
 
 	for id := 0; id < numNodes; id++ {
 		g := nodeGroup[id]
@@ -93,6 +101,9 @@ func RunDistributed(mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Data
 		}(id, g)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case err := <-errs:
 		return nil, err
@@ -117,7 +128,7 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 
 	// Every node derives the identical sharding and batch order.
 	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
-	perMember := cfg.GroupBatch / len(members)
+	perMember := cfg.GlobalBatch / len(members)
 	if perMember < 1 {
 		perMember = 1
 	}
@@ -178,6 +189,9 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 			resMu.Lock()
 			res.EpochAccuracies = append(res.EpochAccuracies, acc)
 			resMu.Unlock()
+			if cfg.EpochEnd != nil {
+				cfg.EpochEnd(epoch, acc)
+			}
 		}
 	}
 	if isGlobalLeader {

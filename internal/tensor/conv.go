@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"socflow/internal/parallel"
+)
 
 // ConvParams describes a 2-D convolution or pooling window. Tensors use
 // NCHW layout throughout the repository.
@@ -31,9 +35,11 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := p.OutSize(h, w)
 	cols := New(n*oh*ow, c*p.KH*p.KW)
-	row := 0
-	for img := 0; img < n; img++ {
+	// Each image owns rows [img*oh*ow, (img+1)*oh*ow) of the column
+	// matrix, so images unfold independently.
+	parallel.Do(n, func(img int) {
 		base := img * c * h * w
+		row := img * oh * ow
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
@@ -56,7 +62,7 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 				row++
 			}
 		}
-	}
+	})
 	return cols
 }
 
@@ -69,9 +75,12 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with %dx%dx%dx%d %+v", cols.Shape, n, c, h, w, p))
 	}
 	img := New(n, c, h, w)
-	row := 0
-	for in := 0; in < n; in++ {
+	// All of image in's accumulations land in its own c*h*w block and
+	// keep their serial (oy, ox, ch, ky, kx) order, so folding images in
+	// parallel is race-free and bit-identical.
+	parallel.Do(n, func(in int) {
 		base := in * c * h * w
+		row := in * oh * ow
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
@@ -92,7 +101,7 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 				row++
 			}
 		}
-	}
+	})
 	return img
 }
 
@@ -103,8 +112,8 @@ func MaxPool(x *Tensor, p ConvParams) (*Tensor, []int) {
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Size())
-	oi := 0
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
+		oi := img * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			cbase := (img*c + ch) * h * w
 			for oy := 0; oy < oh; oy++ {
@@ -133,7 +142,7 @@ func MaxPool(x *Tensor, p ConvParams) (*Tensor, []int) {
 				}
 			}
 		}
-	}
+	})
 	return out, arg
 }
 
@@ -141,11 +150,20 @@ func MaxPool(x *Tensor, p ConvParams) (*Tensor, []int) {
 // positions recorded by MaxPool.
 func MaxPoolBackward(grad *Tensor, arg []int, inShape []int) *Tensor {
 	dx := New(inShape...)
-	for i, g := range grad.Data {
-		if arg[i] >= 0 {
-			dx.Data[arg[i]] += g
-		}
+	n := grad.Shape[0]
+	if n == 0 {
+		return dx
 	}
+	// Argmax positions recorded for image img always point inside that
+	// image's own block of dx, so images scatter independently.
+	per := grad.Size() / n
+	parallel.Do(n, func(img int) {
+		for i := img * per; i < (img+1)*per; i++ {
+			if arg[i] >= 0 {
+				dx.Data[arg[i]] += grad.Data[i]
+			}
+		}
+	})
 	return dx
 }
 
@@ -157,8 +175,8 @@ func AvgPool(x *Tensor, p ConvParams) *Tensor {
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
 	inv := 1 / float32(p.KH*p.KW)
-	oi := 0
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
+		oi := img * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			cbase := (img*c + ch) * h * w
 			for oy := 0; oy < oh; oy++ {
@@ -182,7 +200,7 @@ func AvgPool(x *Tensor, p ConvParams) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -193,8 +211,8 @@ func AvgPoolBackward(grad *Tensor, inShape []int, p ConvParams) *Tensor {
 	oh, ow := p.OutSize(h, w)
 	dx := New(inShape...)
 	inv := 1 / float32(p.KH*p.KW)
-	gi := 0
-	for img := 0; img < n; img++ {
+	parallel.Do(n, func(img int) {
+		gi := img * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			cbase := (img*c + ch) * h * w
 			for oy := 0; oy < oh; oy++ {
@@ -217,6 +235,6 @@ func AvgPoolBackward(grad *Tensor, inShape []int, p ConvParams) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return dx
 }

@@ -3,15 +3,36 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"socflow/internal/parallel"
 )
+
+// elementwiseCutoff is the tensor size below which elementwise ops stay
+// on the calling goroutine: goroutine fan-out costs more than the loop
+// for the small parameter tensors of the micro models.
+const elementwiseCutoff = 1 << 14
+
+// forElems runs fn over [0, n) index ranges, fanning out through the
+// worker pool for tensors large enough to pay for it. fn must touch
+// only indices in [lo, hi), which keeps the result bit-identical at
+// every parallelism level.
+func forElems(n int, fn func(lo, hi int)) {
+	if n < elementwiseCutoff {
+		fn(0, n)
+		return
+	}
+	parallel.For(n, fn)
+}
 
 // Add returns a + b elementwise as a new tensor.
 func Add(a, b *Tensor) *Tensor {
 	checkSame("Add", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -19,9 +40,11 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	checkSame("Sub", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -29,50 +52,62 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	checkSame("Mul", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
 // AddInPlace accumulates b into a (a += b).
 func AddInPlace(a, b *Tensor) {
 	checkSame("AddInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
 }
 
 // SubInPlace subtracts b from a (a -= b).
 func SubInPlace(a, b *Tensor) {
 	checkSame("SubInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] -= b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] -= b.Data[i]
+		}
+	})
 }
 
 // Axpy performs a += alpha*b, the workhorse of SGD updates and gradient
 // aggregation.
 func Axpy(alpha float32, b, a *Tensor) {
 	checkSame("Axpy", a, b)
-	for i := range a.Data {
-		a.Data[i] += alpha * b.Data[i]
-	}
+	forElems(len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += alpha * b.Data[i]
+		}
+	})
 }
 
 // Scale multiplies every element of t by alpha in place.
 func Scale(alpha float32, t *Tensor) {
-	for i := range t.Data {
-		t.Data[i] *= alpha
-	}
+	forElems(len(t.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Data[i] *= alpha
+		}
+	})
 }
 
 // Scaled returns alpha*t as a new tensor.
 func Scaled(alpha float32, t *Tensor) *Tensor {
 	out := New(t.Shape...)
-	for i := range t.Data {
-		out.Data[i] = alpha * t.Data[i]
-	}
+	forElems(len(t.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = alpha * t.Data[i]
+		}
+	})
 	return out
 }
 
@@ -81,9 +116,11 @@ func Scaled(alpha float32, t *Tensor) *Tensor {
 func Lerp(dst, a, b *Tensor, w float32) {
 	checkSame("Lerp", a, b)
 	checkSame("Lerp", dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = (1-w)*a.Data[i] + w*b.Data[i]
-	}
+	forElems(len(dst.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = (1-w)*a.Data[i] + w*b.Data[i]
+		}
+	})
 }
 
 // Dot returns the inner product of the flattened tensors.
@@ -126,26 +163,47 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices.
+// gemmCutoff is the multiply-add count below which a GEMM runs on the
+// calling goroutine; smaller products finish before a fan-out pays off.
+const gemmCutoff = 1 << 15
+
+// forRows fans a row range [0, m) out through the worker pool when the
+// product is large enough. Each row of the output is owned by exactly
+// one chunk and every per-element accumulation keeps its serial order,
+// so results are bit-identical at any parallelism level.
+func forRows(m, flops int, fn func(lo, hi int)) {
+	if flops < gemmCutoff {
+		fn(0, m)
+		return
+	}
+	parallel.For(m, fn)
+}
+
+// matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices,
+// parallelized across row blocks of the output.
 func matmulInto(dst, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := dst[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	forRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulT1 computes C = Aᵀ x B for A[k,m], B[k,n] -> C[m,n], used in
-// dense-layer weight gradients.
+// dense-layer weight gradients. Work splits across output rows; each
+// element still accumulates over p in ascending order, so the result
+// is identical to the sequential kernel.
 func MatMulT1(a, b *Tensor) *Tensor {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -153,19 +211,21 @@ func MatMulT1(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	forRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			crow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -178,18 +238,20 @@ func MatMulT2(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
+	forRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] = s
 			}
-			crow[j] = s
 		}
-	}
+	})
 	return out
 }
 

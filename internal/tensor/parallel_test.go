@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"testing"
+
+	"socflow/internal/parallel"
+)
+
+// atWorkers runs fn under a fixed pool size, restoring the old one.
+func atWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.Set(n)
+	defer parallel.Set(prev)
+	fn()
+}
+
+func bitEqual(t *testing.T, name string, a, b *Tensor) {
+	t.Helper()
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("%s: length %d vs %d", name, len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestKernelsBitIdenticalAcrossWorkers checks the determinism contract:
+// every parallelized kernel must produce byte-for-byte the same output
+// at parallelism 1 and 8.
+func TestKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := NewRNG(7)
+	a := RandNormal(rng, 0, 1, 64, 48)
+	b := RandNormal(rng, 0, 1, 48, 80)
+	bt := RandNormal(rng, 0, 1, 80, 48)
+	at1 := RandNormal(rng, 0, 1, 48, 64)
+	x := RandNormal(rng, 0, 1, 4, 3, 14, 14)
+	p := ConvParams{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}
+	big1 := RandNormal(rng, 0, 1, 1<<15)
+	big2 := RandNormal(rng, 0, 1, 1<<15)
+	grad := RandNormal(rng, 0, 1, 4, 3, 7, 7)
+	pool := ConvParams{KH: 2, KW: 2, SH: 2, SW: 2}
+
+	type result struct {
+		mm, t1, t2, cols, img, mp, mpb, ap, apb, add *Tensor
+	}
+	run := func() result {
+		var r result
+		r.mm = MatMul(a, b)
+		r.t1 = MatMulT1(at1, b)
+		r.t2 = MatMulT2(a, bt)
+		r.cols = Im2Col(x, p)
+		r.img = Col2Im(r.cols, 4, 3, 14, 14, p)
+		mp, arg := MaxPool(x, pool)
+		r.mp = mp
+		r.mpb = MaxPoolBackward(grad, arg, x.Shape)
+		r.ap = AvgPool(x, pool)
+		r.apb = AvgPoolBackward(grad, x.Shape, pool)
+		r.add = Add(big1, big2)
+		return r
+	}
+
+	var seq, par result
+	atWorkers(t, 1, func() { seq = run() })
+	atWorkers(t, 8, func() { par = run() })
+
+	bitEqual(t, "MatMul", seq.mm, par.mm)
+	bitEqual(t, "MatMulT1", seq.t1, par.t1)
+	bitEqual(t, "MatMulT2", seq.t2, par.t2)
+	bitEqual(t, "Im2Col", seq.cols, par.cols)
+	bitEqual(t, "Col2Im", seq.img, par.img)
+	bitEqual(t, "MaxPool", seq.mp, par.mp)
+	bitEqual(t, "MaxPoolBackward", seq.mpb, par.mpb)
+	bitEqual(t, "AvgPool", seq.ap, par.ap)
+	bitEqual(t, "AvgPoolBackward", seq.apb, par.apb)
+	bitEqual(t, "Add", seq.add, par.add)
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ChanMesh is an in-process Mesh: every directed pair of nodes gets a
 // buffered channel. It is deterministic, allocation-light, and fast —
@@ -9,6 +12,8 @@ import "fmt"
 type ChanMesh struct {
 	n     int
 	links [][]chan []byte // links[from][to]
+	done  chan struct{}   // closed by Close; unblocks Send/Recv
+	once  sync.Once
 }
 
 // NewChanMesh builds an n-node in-process mesh. Buffer depth bounds
@@ -17,7 +22,7 @@ func NewChanMesh(n int) *ChanMesh {
 	if n <= 0 {
 		panic("transport: mesh needs at least one node")
 	}
-	m := &ChanMesh{n: n, links: make([][]chan []byte, n)}
+	m := &ChanMesh{n: n, links: make([][]chan []byte, n), done: make(chan struct{})}
 	for i := range m.links {
 		m.links[i] = make([]chan []byte, n)
 		for j := range m.links[i] {
@@ -40,9 +45,14 @@ func (m *ChanMesh) Node(i int) Node {
 	return &chanNode{mesh: m, id: i}
 }
 
-// Close implements Mesh. Channels are garbage-collected; Close only
-// exists for interface symmetry.
-func (m *ChanMesh) Close() error { return nil }
+// Close implements Mesh. It unblocks every pending and future Send and
+// Recv with an error, so workers stuck in a collective unwind promptly
+// (the cancellation path runtime.RunDistributed relies on). Close is
+// idempotent.
+func (m *ChanMesh) Close() error {
+	m.once.Do(func() { close(m.done) })
+	return nil
+}
 
 type chanNode struct {
 	mesh *ChanMesh
@@ -58,17 +68,22 @@ func (n *chanNode) Send(to int, payload []byte) error {
 	}
 	// Copy so the caller may reuse its buffer, matching TCP semantics.
 	msg := append([]byte(nil), payload...)
-	n.mesh.links[n.id][to] <- msg
-	return nil
+	select {
+	case n.mesh.links[n.id][to] <- msg:
+		return nil
+	case <-n.mesh.done:
+		return fmt.Errorf("transport: mesh closed while %d sends to %d", n.id, to)
+	}
 }
 
 func (n *chanNode) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= n.mesh.n || from == n.id {
 		return nil, fmt.Errorf("transport: node %d cannot recv from %d", n.id, from)
 	}
-	msg, ok := <-n.mesh.links[from][n.id]
-	if !ok {
-		return nil, fmt.Errorf("transport: link %d->%d closed", from, n.id)
+	select {
+	case msg := <-n.mesh.links[from][n.id]:
+		return msg, nil
+	case <-n.mesh.done:
+		return nil, fmt.Errorf("transport: mesh closed while %d recvs from %d", n.id, from)
 	}
-	return msg, nil
 }

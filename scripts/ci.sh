@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet, build, full tests, and a race-detector pass over every
+# package the parallel execution engine touches.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
+    ./internal/core ./internal/runtime ./internal/transport

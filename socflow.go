@@ -19,16 +19,15 @@
 //
 // Quickstart:
 //
-//	report, err := socflow.Run(socflow.Config{
-//		Model:   "vgg11",
-//		Dataset: "cifar10",
+//	report, err := socflow.Run(ctx, socflow.Config{
+//		JobSpec: socflow.JobSpec{Model: "vgg11", Dataset: "cifar10", Epochs: 10},
 //		NumSoCs: 32,
 //		Groups:  8,
-//		Epochs:  10,
-//	})
+//	}, socflow.WithParallelism(runtime.NumCPU()))
 package socflow
 
 import (
+	"context"
 	"fmt"
 
 	"socflow/internal/baselines"
@@ -38,15 +37,33 @@ import (
 	"socflow/internal/nn"
 )
 
+// JobSpec holds the fields shared by every entry point: model,
+// dataset, epochs, batch, SGD hyperparameters, seed, and micro-dataset
+// sizes. Config and DistributedConfig both embed it.
+type JobSpec = core.JobSpec
+
+// defaultRunSpec fills Config's zero JobSpec fields.
+var defaultRunSpec = JobSpec{
+	Model:        "vgg11",
+	Dataset:      "cifar10",
+	Epochs:       10,
+	GlobalBatch:  16,
+	LR:           0.02,
+	Momentum:     0.9,
+	Seed:         1,
+	TrainSamples: 768,
+	ValSamples:   128,
+}
+
 // Config describes a training run. Zero values select sensible
 // defaults (noted per field).
 type Config struct {
-	// Model is one of Models(): "lenet5", "vgg11", "resnet18",
-	// "mobilenetv1", "resnet50". Default "vgg11".
-	Model string
-	// Dataset is one of Datasets(): "cifar10", "emnist", "fmnist",
-	// "celeba", "cinic10". Default "cifar10".
-	Dataset string
+	// JobSpec carries the shared job fields. Defaults: Model "vgg11"
+	// (one of Models()), Dataset "cifar10" (one of Datasets()),
+	// Epochs 10, GlobalBatch 16 (functional mini-batch per logical
+	// group, sized to the micro datasets), LR 0.02, Momentum 0.9,
+	// Seed 1, TrainSamples 768, ValSamples 128.
+	JobSpec
 	// Strategy is one of Strategies(): "socflow" (default), "ps",
 	// "ring", "hipress", "2dparal", "fedavg", "tfedavg".
 	Strategy string
@@ -59,35 +76,18 @@ type Config struct {
 	// Mixed selects SoCFlow's processor mode: "auto" (default),
 	// "fp32", "int8", "half".
 	Mixed string
-	// GlobalBatch is the functional mini-batch size per logical group
-	// (default 16, sized to the micro datasets).
-	GlobalBatch int
 	// PaperBatch is the batch size the performance track prices
 	// (default 64, the paper's BS_g; 256 for MobileNet).
 	PaperBatch int
-	// Epochs is the number of functional epochs (default 10).
-	Epochs int
-	// LR and Momentum configure SGD (defaults 0.02 / 0.9).
-	LR, Momentum float32
 	// TargetAccuracy stops early when validation accuracy reaches it.
 	TargetAccuracy float64
-	// TrainSamples/ValSamples size the synthetic micro datasets
-	// (defaults 768 / 128).
-	TrainSamples, ValSamples int
-	// Seed makes the run reproducible (default 1).
-	Seed uint64
 	// Generation selects the SoC silicon: "sd865" (default) or
 	// "sd8gen1".
 	Generation string
 }
 
 func (c Config) withDefaults() Config {
-	if c.Model == "" {
-		c.Model = "vgg11"
-	}
-	if c.Dataset == "" {
-		c.Dataset = "cifar10"
-	}
+	c.JobSpec = c.JobSpec.WithDefaults(defaultRunSpec)
 	if c.Strategy == "" {
 		c.Strategy = "socflow"
 	}
@@ -103,29 +103,8 @@ func (c Config) withDefaults() Config {
 	if c.Mixed == "" {
 		c.Mixed = "auto"
 	}
-	if c.GlobalBatch == 0 {
-		c.GlobalBatch = 16
-	}
 	if c.PaperBatch == 0 {
 		c.PaperBatch = 64
-	}
-	if c.Epochs == 0 {
-		c.Epochs = 10
-	}
-	if c.LR == 0 {
-		c.LR = 0.02
-	}
-	if c.Momentum == 0 {
-		c.Momentum = 0.9
-	}
-	if c.TrainSamples == 0 {
-		c.TrainSamples = 768
-	}
-	if c.ValSamples == 0 {
-		c.ValSamples = 128
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	if c.Generation == "" {
 		c.Generation = "sd865"
@@ -175,32 +154,49 @@ type Report struct {
 	Preemptions int
 }
 
-// Run executes one training run per the configuration.
-func Run(cfg Config) (*Report, error) {
+// Run executes one training run per the configuration. Cancelling ctx
+// stops training between iterations and returns ctx.Err(). Options
+// tune execution (parallelism, tracing, logging) without changing
+// results: seeded runs are bit-identical at every parallelism level.
+func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
+	o := gatherOptions(opts)
+	defer o.apply()()
+
 	cfg = cfg.withDefaults()
 	job, clu, err := buildJob(cfg)
 	if err != nil {
 		return nil, err
 	}
-	strat, err := buildStrategy(cfg)
+	job.EpochEnd = o.epochHook()
+	strat, err := buildStrategy(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := strat.Run(job, clu)
+	if o.logger != nil {
+		o.logger.Printf("run: %s on %s/%s, %d SoCs", strat.Name(), cfg.Model, cfg.Dataset, cfg.NumSoCs)
+	}
+	res, err := strat.Run(ctx, job, clu)
 	if err != nil {
 		return nil, err
 	}
 	return reportFrom(cfg, job, res), nil
 }
 
+// RunDefault is the old zero-option entry point.
+//
+// Deprecated: use Run with a context and options.
+func RunDefault(cfg Config) (*Report, error) {
+	return Run(context.Background(), cfg)
+}
+
 func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
 	spec, err := nn.GetSpec(cfg.Model)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, cfg.Model, Models())
 	}
 	prof, err := dataset.GetProfile(cfg.Dataset)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
 	}
 	var gen cluster.SoCGeneration
 	switch cfg.Generation {
@@ -209,7 +205,7 @@ func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
 	case "sd8gen1":
 		gen = cluster.Gen8Gen1
 	default:
-		return nil, nil, fmt.Errorf("socflow: unknown SoC generation %q", cfg.Generation)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGeneration, cfg.Generation)
 	}
 	clu := cluster.New(cluster.Config{NumSoCs: cfg.NumSoCs, Generation: gen})
 	// Train and validation must come from one generation pass so they
@@ -232,7 +228,7 @@ func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
 	return job, clu, nil
 }
 
-func buildStrategy(cfg Config) (core.Strategy, error) {
+func buildStrategy(ctx context.Context, cfg Config) (core.Strategy, error) {
 	switch cfg.Strategy {
 	case "socflow":
 		mode, err := mixedMode(cfg.Mixed)
@@ -245,7 +241,7 @@ func buildStrategy(cfg Config) (core.Strategy, error) {
 			if err != nil {
 				return nil, err
 			}
-			groups, err = core.AutoGroupCount(job, clu, cfg.NumSoCs, 0.5)
+			groups, err = core.AutoGroupCount(ctx, job, clu, cfg.NumSoCs, 0.5)
 			if err != nil {
 				return nil, fmt.Errorf("socflow: group-size heuristic: %w", err)
 			}
@@ -264,7 +260,7 @@ func buildStrategy(cfg Config) (core.Strategy, error) {
 	case "tfedavg":
 		return baselines.NewTreeFedAvg(), nil
 	default:
-		return nil, fmt.Errorf("socflow: unknown strategy %q (have %v)", cfg.Strategy, Strategies())
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownStrategy, cfg.Strategy, Strategies())
 	}
 }
 
@@ -279,7 +275,7 @@ func mixedMode(s string) (core.MixedMode, error) {
 	case "half":
 		return core.MixedHalf, nil
 	default:
-		return 0, fmt.Errorf("socflow: unknown mixed mode %q", s)
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMixedMode, s)
 	}
 }
 

@@ -1,26 +1,30 @@
 package socflow
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
 func fastCfg(strategy string) Config {
 	return Config{
-		Strategy:     strategy,
-		Model:        "lenet5",
-		Dataset:      "fmnist",
-		NumSoCs:      16,
-		Groups:       4,
-		GlobalBatch:  16,
-		Epochs:       6,
-		TrainSamples: 240,
-		ValSamples:   60,
-		Seed:         3,
+		JobSpec: JobSpec{
+			Model:        "lenet5",
+			Dataset:      "fmnist",
+			GlobalBatch:  16,
+			Epochs:       6,
+			TrainSamples: 240,
+			ValSamples:   60,
+			Seed:         3,
+		},
+		Strategy: strategy,
+		NumSoCs:  16,
+		Groups:   4,
 	}
 }
 
 func TestRunDefaultsAndLearns(t *testing.T) {
-	rep, err := Run(fastCfg(""))
+	rep, err := Run(context.Background(), fastCfg(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func TestRunEveryStrategy(t *testing.T) {
 	for _, s := range Strategies() {
 		s := s
 		t.Run(s, func(t *testing.T) {
-			rep, err := Run(fastCfg(s))
+			rep, err := Run(context.Background(), fastCfg(s))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,33 +64,50 @@ func TestRunMixedModes(t *testing.T) {
 	for _, m := range []string{"auto", "fp32", "int8", "half"} {
 		cfg := fastCfg("socflow")
 		cfg.Mixed = m
-		if _, err := Run(cfg); err != nil {
+		if _, err := Run(context.Background(), cfg); err != nil {
 			t.Fatalf("mixed mode %q: %v", m, err)
 		}
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	cases := []Config{
-		{Model: "alexnet"},
-		{Dataset: "imagenet"},
-		{Strategy: "magic"},
-		{Mixed: "fp64"},
-		{Generation: "sd999"},
+	cases := []struct {
+		cfg  Config
+		want error
+	}{
+		{Config{JobSpec: JobSpec{Model: "alexnet"}}, ErrUnknownModel},
+		{Config{JobSpec: JobSpec{Dataset: "imagenet"}}, ErrUnknownDataset},
+		{Config{Strategy: "magic"}, ErrUnknownStrategy},
+		{Config{Mixed: "fp64"}, ErrUnknownMixedMode},
+		{Config{Generation: "sd999"}, ErrUnknownGeneration},
 	}
 	for _, c := range cases {
-		if _, err := Run(c); err == nil {
-			t.Fatalf("config %+v should be rejected", c)
+		_, err := Run(context.Background(), c.cfg)
+		if err == nil {
+			t.Fatalf("config %+v should be rejected", c.cfg)
+		}
+		if !errors.Is(err, c.want) {
+			t.Fatalf("config %+v: got %v, want errors.Is(%v)", c.cfg, err, c.want)
 		}
 	}
 }
 
-func TestRunIsDeterministic(t *testing.T) {
-	a, err := Run(fastCfg("socflow"))
+func TestRunDefaultWrapper(t *testing.T) {
+	rep, err := RunDefault(fastCfg(""))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(fastCfg("socflow"))
+	if rep.BestAccuracy <= 0.1 {
+		t.Fatalf("deprecated wrapper did not learn: %v", rep.BestAccuracy)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run(context.Background(), fastCfg("socflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), fastCfg("socflow"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +132,12 @@ func TestPlanTopology(t *testing.T) {
 	if len(rep.Groups) != 5 || len(rep.SplitGroups) != 2 || len(rep.CommunicationGroups) != 2 {
 		t.Fatalf("paper-example topology wrong: %+v", rep)
 	}
-	if _, err := PlanTopology(4, 8, 5); err == nil {
+	_, err = PlanTopology(4, 8, 5)
+	if err == nil {
 		t.Fatal("impossible topology must error")
+	}
+	if !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("want ErrBadTopology, got %v", err)
 	}
 }
 
@@ -130,7 +155,7 @@ func TestTidalHelpers(t *testing.T) {
 func TestRunAutoGroups(t *testing.T) {
 	cfg := fastCfg("socflow")
 	cfg.Groups = -1
-	rep, err := Run(cfg)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +165,15 @@ func TestRunAutoGroups(t *testing.T) {
 }
 
 func TestRunDistributedFacade(t *testing.T) {
-	rep, err := RunDistributed(DistributedConfig{
-		NumSoCs:      6,
-		Groups:       2,
-		Epochs:       4,
-		TrainSamples: 300,
-		ValSamples:   60,
-		InProcess:    true,
+	rep, err := RunDistributed(context.Background(), DistributedConfig{
+		JobSpec: JobSpec{
+			Epochs:       4,
+			TrainSamples: 300,
+			ValSamples:   60,
+		},
+		NumSoCs:   6,
+		Groups:    2,
+		InProcess: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -160,12 +187,14 @@ func TestRunDistributedFacade(t *testing.T) {
 }
 
 func TestRunDistributedFacadeTCP(t *testing.T) {
-	rep, err := RunDistributed(DistributedConfig{
-		NumSoCs:      4,
-		Groups:       2,
-		Epochs:       2,
-		TrainSamples: 160,
-		ValSamples:   40,
+	rep, err := RunDistributedDefault(DistributedConfig{
+		JobSpec: JobSpec{
+			Epochs:       2,
+			TrainSamples: 160,
+			ValSamples:   40,
+		},
+		NumSoCs: 4,
+		Groups:  2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +205,11 @@ func TestRunDistributedFacadeTCP(t *testing.T) {
 }
 
 func TestRunDistributedFacadeRejectsBadModel(t *testing.T) {
-	if _, err := RunDistributed(DistributedConfig{Model: "gpt3"}); err == nil {
+	_, err := RunDistributed(context.Background(), DistributedConfig{JobSpec: JobSpec{Model: "gpt3"}})
+	if err == nil {
 		t.Fatal("unknown model must error")
+	}
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("want ErrUnknownModel, got %v", err)
 	}
 }

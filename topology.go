@@ -33,7 +33,7 @@ func PlanTopology(numSoCs, numGroups, socsPerPCB int) (*TopologyReport, error) {
 		socsPerPCB = cluster.SoCsPerPCBDefault
 	}
 	if numSoCs <= 0 || numGroups <= 0 || numGroups > numSoCs || socsPerPCB <= 0 {
-		return nil, fmt.Errorf("socflow: cannot plan %d SoCs / %d groups / %d per PCB", numSoCs, numGroups, socsPerPCB)
+		return nil, fmt.Errorf("%w: cannot plan %d SoCs / %d groups / %d per PCB", ErrBadTopology, numSoCs, numGroups, socsPerPCB)
 	}
 	m := core.IntegrityGreedyMap(numSoCs, numGroups, socsPerPCB)
 	p := core.PlanCommunication(m)
