@@ -96,6 +96,33 @@ func TestRunDistributedCancellation(t *testing.T) {
 	}
 }
 
+// Injected crashes without degradation must fail fast (first-error
+// teardown, not a deadlock) and name the failed worker; with
+// degradation the same job completes on the survivors.
+func TestRunDistributedFaultInjection(t *testing.T) {
+	cfg := DistributedConfig{
+		JobSpec:       JobSpec{Epochs: 3, TrainSamples: 240, ValSamples: 60},
+		NumSoCs:       4,
+		Groups:        2,
+		InProcess:     true,
+		InjectCrashes: 1,
+	}
+	if _, err := RunDistributed(context.Background(), cfg); err == nil {
+		t.Fatal("injected crash without degradation must fail the run")
+	} else if !strings.Contains(err.Error(), "worker") {
+		t.Fatalf("error must name the failed worker: %v", err)
+	}
+
+	cfg.DegradeOnFault = true
+	rep, err := RunDistributed(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if len(rep.EpochAccuracies) != 3 || rep.BestAccuracy <= 0 {
+		t.Fatalf("degraded run incomplete: %+v", rep)
+	}
+}
+
 func TestTraceAndLogger(t *testing.T) {
 	var trace, logs bytes.Buffer
 	cfg := fastCfg("socflow")

@@ -114,6 +114,9 @@ func catalog() []experiment {
 		{"ext4", "extension: co-location via group-level preemption", func(o exp.Options, _ bool) ([]*exp.Table, error) {
 			return one(exp.ExpPreemption(o))
 		}},
+		{"faults", "extension: accuracy under injected SoC crashes (0/1/2 + tidal) with group degradation", func(o exp.Options, _ bool) ([]*exp.Table, error) {
+			return one(exp.ExpFaults(o))
+		}},
 	}
 }
 

@@ -46,6 +46,15 @@ type DistributedConfig struct {
 	// InProcess swaps the loopback-TCP mesh (default) for in-process
 	// channels — faster and fully deterministic, same protocol.
 	InProcess bool
+	// InjectCrashes injects this many deterministic, seed-derived
+	// worker crashes (a transport.FaultPlan built from Seed) — the
+	// SoC-preemption scenario of a shared cluster. Without
+	// DegradeOnFault the run fails fast with the joined worker errors.
+	InjectCrashes int
+	// DegradeOnFault lets a crashed member's group shrink to the
+	// survivors, which re-split the batch and re-normalize the
+	// gradient average, so the run completes instead of aborting.
+	DegradeOnFault bool
 }
 
 // DistributedReport is RunDistributed's outcome.
@@ -106,8 +115,12 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 		o.logger.Printf("distributed run: %s on %s, %d SoCs in %d groups", cfg.Model, cfg.Dataset, cfg.NumSoCs, cfg.Groups)
 	}
 	dcfg := runtime.DistConfig{
-		JobSpec: cfg.JobSpec,
-		Groups:  runtime.GroupsFromMapping(mapping),
+		JobSpec:        cfg.JobSpec,
+		Groups:         runtime.GroupsFromMapping(mapping),
+		DegradeOnFault: cfg.DegradeOnFault,
+	}
+	if cfg.InjectCrashes > 0 {
+		dcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
 	}
 	if hook := o.epochHook(); hook != nil {
 		dcfg.EpochEnd = func(epoch int, acc float64) { hook(epoch, acc, 0) }

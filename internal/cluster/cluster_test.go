@@ -297,3 +297,31 @@ func TestThermalTraceValidates(t *testing.T) {
 	}()
 	ThermalTrace(2, 2, 0.5, 0, 1)
 }
+
+func TestPreemptionEventsDeterministicAndTidal(t *testing.T) {
+	tr := DefaultTidalTrace()
+	a := tr.PreemptionEvents(16, 8, 14, 0.5, 3)
+	b := tr.PreemptionEvents(16, 8, 14, 0.5, 3)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a), len(b))
+	}
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if seen[a[i].SoC] {
+			t.Fatalf("SoC %d preempted twice", a[i].SoC)
+		}
+		seen[a[i].SoC] = true
+		if a[i].SoC < 0 || a[i].SoC >= 16 || a[i].Epoch < 0 || a[i].Epoch >= 8 {
+			t.Fatalf("event out of range: %+v", a[i])
+		}
+	}
+	// Afternoon peak must reclaim far more SoCs than the nightly trough.
+	peak := len(tr.PreemptionEvents(64, 8, 14, 0.25, 3))
+	night := len(tr.PreemptionEvents(64, 8, 4, 0.25, 3))
+	if peak <= night {
+		t.Fatalf("peak-hour session lost %d SoCs, night session %d; tidal shape missing", peak, night)
+	}
+}

@@ -97,6 +97,38 @@ func (tr TidalTrace) BusySchedule(n int, seed uint64) [][]bool {
 	return out
 }
 
+// PreemptionEvent records a SoC being reclaimed by user traffic at the
+// start of a training epoch — the failure mode the co-location story
+// must absorb (§2.2: training borrows idle SoCs and yields them back
+// the moment user workloads return).
+type PreemptionEvent struct {
+	SoC, Epoch int
+}
+
+// PreemptionEvents samples which SoCs user traffic reclaims during a
+// training session that starts at startHour and advances epochHours of
+// wall clock per epoch, following the tidal busy profile: a session
+// that strays out of the nightly trough loses SoCs at the rate the
+// trace predicts. At most one event is emitted per SoC — the first
+// preemption — since a reclaimed SoC leaves the session for good.
+// Deterministic in seed; feed the result to a transport.FaultPlan to
+// replay it against the distributed runtime.
+func (tr TidalTrace) PreemptionEvents(n, epochs int, startHour, epochHours float64, seed uint64) []PreemptionEvent {
+	r := tensor.NewRNG(seed)
+	gone := make([]bool, n)
+	var out []PreemptionEvent
+	for e := 0; e < epochs; e++ {
+		busy := tr.BusyFraction(startHour + float64(e)*epochHours)
+		for s := 0; s < n; s++ {
+			if !gone[s] && r.Float64() < busy {
+				gone[s] = true
+				out = append(out, PreemptionEvent{SoC: s, Epoch: e})
+			}
+		}
+	}
+	return out
+}
+
 // ThermalTrace samples per-SoC DVFS throttle factors for a training
 // session. Sustained training pushes mobile SoCs against their thermal
 // envelope; the DVFS governor underclocks hot chips, which is what

@@ -500,3 +500,39 @@ func TestExpPreemptionGroupLevelWins(t *testing.T) {
 			cellFloat(t, group[1]), cellFloat(t, whole[1]))
 	}
 }
+
+func TestExpFaultsDegradesGracefully(t *testing.T) {
+	o := fastOpts()
+	o.Epochs = 4
+	o.TrainSamples = 320
+	o.ValSamples = 80
+	tb, err := ExpFaults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	clean := tb.FindRow("none")
+	two := tb.FindRow("2 crashes")
+	if clean == nil || two == nil || tb.FindRow("tidal") == nil {
+		t.Fatal("missing rows")
+	}
+	if c := cellFloat(t, clean[1]); c != 0 {
+		t.Fatalf("fault-free row reports %v crashes", c)
+	}
+	if c := cellFloat(t, two[1]); c != 2 {
+		t.Fatalf("2-crash row reports %v crashes", c)
+	}
+	// Degradation keeps the runs alive and close to the clean accuracy.
+	for _, label := range []string{"1 crash", "2 crashes"} {
+		row := tb.FindRow(label)
+		if row == nil {
+			t.Fatalf("missing row %q", label)
+		}
+		delta := cellFloat(t, row[5])
+		if delta < -2 || delta > 2 {
+			t.Fatalf("%s: best-accuracy delta %v points, want within 2", label, delta)
+		}
+	}
+}

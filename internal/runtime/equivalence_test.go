@@ -30,12 +30,7 @@ func serialReference(spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig)
 	shards := train.ShardIID(numGroups, cfg.Seed+1)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for g := range models {
-			members := len(cfg.Groups[g])
-			perMember := cfg.GlobalBatch / members
-			if perMember < 1 {
-				perMember = 1
-			}
-			it := dataset.NewBatchIterator(shards[g], perMember*members, cfg.Seed+uint64(100+epoch))
+			it := dataset.NewBatchIterator(shards[g], cfg.GlobalBatch, cfg.Seed+uint64(100+epoch))
 			for i := 0; i < it.BatchesPerEpoch(); i++ {
 				x, labels := it.Next()
 				models[g].ZeroGrad()
@@ -98,5 +93,41 @@ func TestDistributedMatchesSerialLift(t *testing.T) {
 	refAcc := accuracyOn(ref, val)
 	if math.Abs(distAcc-refAcc) > 0.05 {
 		t.Fatalf("accuracy mismatch: distributed %v vs serial %v", distAcc, refAcc)
+	}
+}
+
+// Regression for the global-batch truncation bug: with a group size
+// that does not divide BS_g (5 members, batch 16) the runtime used to
+// train on floor(16/5)*5 = 15 samples per iteration. The serial lift
+// consumes the full batch, so matching it proves the remainder is now
+// trained, not dropped.
+func TestDistributedRaggedGroupMatchesSerialLift(t *testing.T) {
+	prof := dataset.MustProfile("fmnist")
+	pool := prof.Generate(dataset.GenOptions{Samples: 200, Seed: 3})
+	train, val := pool.Split(0.8)
+	spec := nn.MustSpec("lenet5")
+	cfg := DistConfig{
+		JobSpec: core.JobSpec{Epochs: 2, GlobalBatch: 16, LR: 0.02, Momentum: 0.9, Seed: 8},
+		Groups:  [][]int{{0, 1, 2, 3, 4}, {5, 6, 7}},
+	}
+
+	dist, err := RunDistributed(context.Background(), transport.NewChanMesh(8), spec, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := serialReference(spec, train, val, cfg)
+
+	dw, rw := dist.Final.Weights(), ref.Weights()
+	var maxDiff float64
+	for ti := range dw {
+		for j := range dw[ti].Data {
+			d := math.Abs(float64(dw[ti].Data[j] - rw[ti].Data[j]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("ragged-group distributed run diverged from serial lift: max weight diff %v", maxDiff)
 	}
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,9 +15,9 @@ import (
 
 // DistConfig describes a distributed SoCFlow training run on a mesh.
 // The embedded JobSpec supplies the shared hyperparameters: GlobalBatch
-// is BS_g, split evenly across a group's members each iteration, and
-// Seed drives model init, sharding, and batch order — every node
-// derives the identical schedule from it.
+// is BS_g, split across a group's members each iteration, and Seed
+// drives model init, sharding, and batch order — every node derives
+// the identical schedule from it.
 type DistConfig struct {
 	core.JobSpec
 	// Groups maps each logical group to its member node IDs (e.g. from
@@ -25,13 +26,56 @@ type DistConfig struct {
 	// EpochEnd, when non-nil, is called by the global leader after each
 	// epoch with the 0-based epoch and validation accuracy.
 	EpochEnd func(epoch int, acc float64)
+	// Faults, when non-nil, is applied to the mesh via
+	// transport.WithFaults: the scripted crashes, link drops, and
+	// stragglers fire at their (epoch, iteration) trigger points.
+	Faults *transport.FaultPlan
+	// DegradeOnFault selects what an injected crash does to the run.
+	// False (default): the crash is fatal — the first failing worker
+	// tears the mesh down, every peer unwinds, and RunDistributed
+	// returns the joined worker errors. True: the crashed member's
+	// group shrinks to the survivors, which re-split the group batch
+	// and re-normalize the gradient average; leadership moves to the
+	// first surviving member. Because the plan is shared configuration,
+	// every node derives the same membership timeline without any extra
+	// coordination — the paper's group-preemption story (§6.2).
+	DegradeOnFault bool
+}
+
+// degraded reports whether the run is in shrink-and-continue mode.
+func (cfg *DistConfig) degraded() bool { return cfg.DegradeOnFault && cfg.Faults != nil }
+
+// live returns the members of a group still alive at (epoch, iter):
+// the full list unless degradation is on.
+func (cfg *DistConfig) live(members []int, epoch, iter int) []int {
+	if !cfg.degraded() {
+		return members
+	}
+	return cfg.Faults.Live(members, epoch, iter)
+}
+
+// epochLeaders returns the leader ring at the end of an epoch — the
+// first live member of every group that still has survivors — and the
+// global leader (the first entry), which evaluates and reports.
+func (cfg *DistConfig) epochLeaders(epoch int) (leaders []int, global int) {
+	for _, members := range cfg.Groups {
+		lv := cfg.live(members, epoch, transport.IterEpochEnd)
+		if len(lv) > 0 {
+			leaders = append(leaders, lv[0])
+		}
+	}
+	if len(leaders) == 0 {
+		return nil, -1
+	}
+	return leaders, leaders[0]
 }
 
 // DistResult is what RunDistributed reports.
 type DistResult struct {
 	// EpochAccuracies is validation accuracy after each epoch,
-	// evaluated on group 0's model (all groups agree after the
-	// inter-group aggregation).
+	// evaluated by the global leader (all groups agree after the
+	// inter-group aggregation). Indexed by epoch; under degradation the
+	// reporting node may change when leaders crash.
 	EpochAccuracies []float64
 	// Final is the fully aggregated model after the last epoch.
 	Final *nn.Sequential
@@ -46,8 +90,13 @@ type DistResult struct {
 // groups between epochs. The protocol, message layout, and schedule
 // are what the paper's prototype runs over TCP.
 //
-// Cancelling ctx closes the mesh, which errors out any worker blocked
-// in a collective; RunDistributed then returns ctx.Err().
+// Failure domain: the first worker to fail closes the mesh, which
+// errors out every peer blocked in a collective, so the run unwinds
+// instead of deadlocking; all worker errors are joined into the
+// returned error. Cancelling ctx closes the mesh the same way and
+// RunDistributed returns ctx.Err(). With cfg.Faults set, scripted
+// faults are injected; with cfg.DegradeOnFault, crashes shrink groups
+// instead of aborting the run.
 func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig) (*DistResult, error) {
 	numNodes := mesh.Size()
 	if len(cfg.Groups) == 0 {
@@ -57,12 +106,10 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 	for i := range nodeGroup {
 		nodeGroup[i] = -1
 	}
-	leaders := make([]int, len(cfg.Groups))
 	for g, members := range cfg.Groups {
 		if len(members) == 0 {
 			return nil, fmt.Errorf("runtime: empty group %d", g)
 		}
-		leaders[g] = members[0]
 		for _, m := range members {
 			if m < 0 || m >= numNodes {
 				return nil, fmt.Errorf("runtime: member %d outside mesh of %d", m, numNodes)
@@ -76,11 +123,34 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
 		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
 	}
+	if cfg.degraded() {
+		if ldrs, _ := cfg.epochLeaders(cfg.Epochs - 1); len(ldrs) == 0 {
+			return nil, fmt.Errorf("runtime: fault plan leaves no survivor to finish the run")
+		}
+	}
+	if cfg.Faults != nil {
+		mesh = transport.WithFaults(mesh, cfg.Faults)
+	}
 
-	res := &DistResult{}
+	res := &DistResult{EpochAccuracies: make([]float64, cfg.Epochs)}
 	var resMu sync.Mutex
-	errs := make(chan error, numNodes)
 	var wg sync.WaitGroup
+
+	// First-error teardown: the first failing worker closes the mesh so
+	// every peer blocked in a collective errors out and unwinds —
+	// wg.Wait() below cannot block on a survivor stuck in Recv. All
+	// worker errors are collected and joined.
+	var (
+		errMu      sync.Mutex
+		workerErrs []error
+		closeOnce  sync.Once
+	)
+	fail := func(id int, err error) {
+		errMu.Lock()
+		workerErrs = append(workerErrs, fmt.Errorf("worker %d: %w", id, err))
+		errMu.Unlock()
+		closeOnce.Do(func() { mesh.Close() })
+	}
 
 	// Workers block in collectives, not on ctx; closing the mesh on
 	// cancellation errors those calls out so every worker unwinds.
@@ -95,8 +165,8 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 		wg.Add(1)
 		go func(id, g int) {
 			defer wg.Done()
-			if err := runWorker(mesh.Node(id), spec, train, val, cfg, g, leaders, res, &resMu); err != nil {
-				errs <- fmt.Errorf("worker %d: %w", id, err)
+			if err := runWorker(mesh.Node(id), spec, train, val, cfg, g, res, &resMu); err != nil {
+				fail(id, err)
 			}
 		}(id, g)
 	}
@@ -104,23 +174,31 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	if len(workerErrs) > 0 {
+		return nil, errors.Join(workerErrs...)
 	}
 	return res, nil
 }
 
 // runWorker is one SoC's whole life: deterministic local schedule plus
-// the collective calls at group and epoch boundaries.
+// the collective calls at group and epoch boundaries. In degraded mode
+// a worker whose crash point has arrived exits cleanly at the next
+// boundary, and the survivors' membership views — all derived from the
+// shared plan — exclude it from the same point on.
 func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg DistConfig,
-	group int, leaders []int, res *DistResult, resMu *sync.Mutex) error {
+	group int, res *DistResult, resMu *sync.Mutex) error {
 
 	members := cfg.Groups[group]
-	rank := rankOf(node.ID(), members)
-	isGroupLeader := rank == 0
-	isGlobalLeader := isGroupLeader && group == 0
+	me := node.ID()
+	ticker, _ := node.(transport.FaultTicker)
+	tick := func(epoch, iter int) {
+		if ticker != nil {
+			ticker.TickFault(epoch, iter)
+		}
+	}
+	crashed := func(epoch, iter int) bool {
+		return cfg.degraded() && cfg.Faults.CrashedAt(me, epoch, iter)
+	}
 
 	// Identical init everywhere: same seed, same stream.
 	model := spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
@@ -128,22 +206,27 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 
 	// Every node derives the identical sharding and batch order.
 	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
-	perMember := cfg.GlobalBatch / len(members)
-	if perMember < 1 {
-		perMember = 1
-	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		shard := shards[group]
-		it := dataset.NewBatchIterator(shard, perMember*len(members), cfg.Seed+uint64(100+epoch))
+		// The iterator consumes the full configured global batch; the
+		// proportional split below spreads any remainder over members
+		// instead of silently truncating the batch.
+		it := dataset.NewBatchIterator(shard, cfg.GlobalBatch, cfg.Seed+uint64(100+epoch))
 		iters := it.BatchesPerEpoch()
 		for i := 0; i < iters; i++ {
+			tick(epoch, i)
+			if crashed(epoch, i) {
+				return nil // injected preemption: clean degraded exit
+			}
+			lv := cfg.live(members, epoch, i)
+			rank := rankOf(me, lv)
 			x, labels := it.Next()
-			// This member's slice of the group batch; the last member
-			// absorbs any remainder.
+			// This member's slice of the group batch; slice bounds are
+			// proportional, so ragged batches split without loss.
 			n := x.Shape[0]
-			lo := rank * n / len(members)
-			hi := (rank + 1) * n / len(members)
+			lo := rank * n / len(lv)
+			hi := (rank + 1) * n / len(lv)
 			model.ZeroGrad()
 			if hi > lo {
 				xm := tensor.Rows(x, lo, hi)
@@ -152,31 +235,38 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 				model.Backward(g)
 				// Weight by actual slice size so the group average is
 				// the full-batch mean gradient.
-				scale := float32(hi-lo) * float32(len(members)) / float32(n)
+				scale := float32(hi-lo) * float32(len(lv)) / float32(n)
 				for _, gr := range model.Grads() {
 					tensor.Scale(scale, gr)
 				}
 			}
 			// Intra-group SSGD: average gradients over the ring.
 			flat := flatten(model.Grads())
-			if err := RingAllReduceAverage(node, members, flat); err != nil {
+			if err := RingAllReduceAverage(node, lv, flat); err != nil {
 				return err
 			}
 			unflatten(flat, model.Grads())
 			opt.Step(model.Params())
 		}
 
+		tick(epoch, transport.IterEpochEnd)
+		if crashed(epoch, transport.IterEpochEnd) {
+			return nil
+		}
+		lv := cfg.live(members, epoch, transport.IterEpochEnd)
+		leaders, globalLeader := cfg.epochLeaders(epoch)
+
 		// Delayed aggregation: leaders average weights across groups,
 		// then each leader broadcasts within its group. Batch-norm
 		// running statistics travel with the weights.
 		sync := append(model.Weights(), model.StateTensors()...)
 		flat := flatten(sync)
-		if isGroupLeader {
+		if me == lv[0] {
 			if err := RingAllReduceAverage(node, leaders, flat); err != nil {
 				return err
 			}
 		}
-		if err := Broadcast(node, members, members[0], flat); err != nil {
+		if err := Broadcast(node, lv, lv[0], flat); err != nil {
 			return err
 		}
 		unflatten(flat, sync)
@@ -184,20 +274,18 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 		// Cross-group reshuffle (§3.1) — identical on every node.
 		shards = dataset.Reshuffle(shards, cfg.Seed+uint64(1000+epoch))
 
-		if isGlobalLeader {
+		if me == globalLeader {
 			acc := accuracyOn(model, val)
 			resMu.Lock()
-			res.EpochAccuracies = append(res.EpochAccuracies, acc)
+			res.EpochAccuracies[epoch] = acc
+			if epoch == cfg.Epochs-1 {
+				res.Final = model
+			}
 			resMu.Unlock()
 			if cfg.EpochEnd != nil {
 				cfg.EpochEnd(epoch, acc)
 			}
 		}
-	}
-	if isGlobalLeader {
-		resMu.Lock()
-		res.Final = model
-		resMu.Unlock()
 	}
 	return nil
 }

@@ -66,13 +66,20 @@ func (n *chanNode) Send(to int, payload []byte) error {
 	if to < 0 || to >= n.mesh.n || to == n.id {
 		return fmt.Errorf("transport: node %d cannot send to %d", n.id, to)
 	}
+	// Closed-mesh check first: with buffer space free the select below
+	// would otherwise pick a case at random after Close.
+	select {
+	case <-n.mesh.done:
+		return fmt.Errorf("%w while %d sends to %d", ErrMeshClosed, n.id, to)
+	default:
+	}
 	// Copy so the caller may reuse its buffer, matching TCP semantics.
 	msg := append([]byte(nil), payload...)
 	select {
 	case n.mesh.links[n.id][to] <- msg:
 		return nil
 	case <-n.mesh.done:
-		return fmt.Errorf("transport: mesh closed while %d sends to %d", n.id, to)
+		return fmt.Errorf("%w while %d sends to %d", ErrMeshClosed, n.id, to)
 	}
 }
 
@@ -81,9 +88,14 @@ func (n *chanNode) Recv(from int) ([]byte, error) {
 		return nil, fmt.Errorf("transport: node %d cannot recv from %d", n.id, from)
 	}
 	select {
+	case <-n.mesh.done:
+		return nil, fmt.Errorf("%w while %d recvs from %d", ErrMeshClosed, n.id, from)
+	default:
+	}
+	select {
 	case msg := <-n.mesh.links[from][n.id]:
 		return msg, nil
 	case <-n.mesh.done:
-		return nil, fmt.Errorf("transport: mesh closed while %d recvs from %d", n.id, from)
+		return nil, fmt.Errorf("%w while %d recvs from %d", ErrMeshClosed, n.id, from)
 	}
 }

@@ -2,10 +2,22 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+)
+
+// Per-op deadline defaults. An op that makes no progress for the
+// deadline is retried with exponential backoff up to the retry budget,
+// then fails — a worker whose peer has silently vanished unwinds
+// instead of blocking forever. The defaults are generous relative to
+// any legitimate compute gap between collectives.
+const (
+	DefaultOpTimeout = 30 * time.Second
+	DefaultOpRetries = 2
 )
 
 // TCPMesh is a Mesh whose links are real TCP connections on loopback:
@@ -16,6 +28,10 @@ import (
 type TCPMesh struct {
 	n     int
 	nodes []*tcpNode
+	done  chan struct{} // closed by Close; unblocks Send/Recv waits
+
+	opTimeout time.Duration
+	opRetries int
 
 	mu     sync.Mutex
 	closed bool
@@ -28,7 +44,7 @@ func NewTCPMesh(n int) (*TCPMesh, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transport: mesh needs at least one node")
 	}
-	m := &TCPMesh{n: n}
+	m := &TCPMesh{n: n, done: make(chan struct{}), opTimeout: DefaultOpTimeout, opRetries: DefaultOpRetries}
 	listeners := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -49,18 +65,25 @@ func NewTCPMesh(n int) (*TCPMesh, error) {
 			defer wg.Done()
 			defer listeners[i].Close()
 			// Node i accepts connections from every lower-numbered peer.
+			seen := make(map[int]bool, i)
 			for k := 0; k < i; k++ {
 				conn, err := listeners[i].Accept()
 				if err != nil {
-					errs <- err
+					errs <- fmt.Errorf("transport: node %d accept: %w", i, err)
 					return
 				}
-				var hdr [4]byte
-				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-					errs <- err
+				peer, err := handshakePeer(conn, i)
+				if err != nil {
+					conn.Close()
+					errs <- fmt.Errorf("transport: node %d: %w", i, err)
 					return
 				}
-				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				if seen[peer] {
+					conn.Close()
+					errs <- fmt.Errorf("transport: node %d: duplicate handshake from peer %d", i, peer)
+					return
+				}
+				seen[peer] = true
 				m.nodes[i].attach(peer, conn)
 			}
 		}(i)
@@ -71,25 +94,59 @@ func NewTCPMesh(n int) (*TCPMesh, error) {
 			conn, err := net.Dial("tcp", listeners[j].Addr().String())
 			if err != nil {
 				m.Close()
+				wg.Wait()
 				return nil, fmt.Errorf("transport: dial %d->%d: %w", i, j, err)
 			}
 			var hdr [4]byte
 			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
 			if _, err := conn.Write(hdr[:]); err != nil {
 				m.Close()
+				wg.Wait()
 				return nil, err
 			}
 			m.nodes[i].attach(j, conn)
 		}
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
+	// Drain every accept error, not just the first: a bad handshake on
+	// one node must not mask failures on others.
+	close(errs)
+	var acceptErrs []error
+	for err := range errs {
+		acceptErrs = append(acceptErrs, err)
+	}
+	if len(acceptErrs) > 0 {
 		m.Close()
-		return nil, err
-	default:
+		return nil, errors.Join(acceptErrs...)
 	}
 	return m, nil
+}
+
+// handshakePeer reads the 4-byte peer announcement and validates it
+// against the acceptor's expected range [0, limit) — a corrupt or
+// hostile ID must be rejected, not used to index conns.
+func handshakePeer(r io.Reader, limit int) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("handshake read: %w", err)
+	}
+	peer := binary.LittleEndian.Uint32(hdr[:])
+	if uint64(peer) >= uint64(limit) {
+		return 0, fmt.Errorf("handshake announced peer %d, want [0,%d)", peer, limit)
+	}
+	return int(peer), nil
+}
+
+// SetOpDeadline overrides the per-attempt Send/Recv deadline and the
+// retry budget (retries < 0 keeps the default). Call it before any
+// traffic; it is not synchronized with in-flight ops.
+func (m *TCPMesh) SetOpDeadline(d time.Duration, retries int) {
+	if d > 0 {
+		m.opTimeout = d
+	}
+	if retries >= 0 {
+		m.opRetries = retries
+	}
 }
 
 // Size implements Mesh.
@@ -106,6 +163,7 @@ func (m *TCPMesh) Close() error {
 		return nil
 	}
 	m.closed = true
+	close(m.done)
 	for _, nd := range m.nodes {
 		nd.close()
 	}
@@ -171,23 +229,87 @@ func (nd *tcpNode) close() {
 func (nd *tcpNode) ID() int   { return nd.id }
 func (nd *tcpNode) Size() int { return nd.n }
 
+// countWriter tracks whether any bytes reached the connection, which
+// decides whether a timed-out frame write is retryable: once part of a
+// frame is on the wire, a retry would corrupt the peer's framing.
+type countWriter struct {
+	w io.Writer
+	n int
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += n
+	return n, err
+}
+
 func (nd *tcpNode) Send(to int, payload []byte) error {
 	if to < 0 || to >= nd.n || to == nd.id {
 		return fmt.Errorf("transport: node %d cannot send to %d", nd.id, to)
 	}
-	<-nd.ready[to]
+	// The peer may never attach if the mesh is torn down during
+	// construction; never wait on ready without also watching done.
+	select {
+	case <-nd.ready[to]:
+	case <-nd.mesh.done:
+		return fmt.Errorf("%w while %d sends to %d", ErrMeshClosed, nd.id, to)
+	}
 	nd.wmu[to].Lock()
 	defer nd.wmu[to].Unlock()
-	return writeFrame(nd.conns[to], payload)
+	conn := nd.conns[to]
+	backoff := 10 * time.Millisecond
+	var err error
+	for attempt := 0; attempt <= nd.mesh.opRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-nd.mesh.done:
+				return fmt.Errorf("%w while %d sends to %d", ErrMeshClosed, nd.id, to)
+			}
+			backoff *= 2
+		}
+		conn.SetWriteDeadline(time.Now().Add(nd.mesh.opTimeout))
+		cw := &countWriter{w: conn}
+		err = writeFrame(cw, payload)
+		if err == nil {
+			conn.SetWriteDeadline(time.Time{})
+			return nil
+		}
+		// Retry only a clean timeout with nothing on the wire; a partial
+		// frame (or any other failure) is fatal for the stream.
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() || cw.n != 0 {
+			break
+		}
+	}
+	select {
+	case <-nd.mesh.done:
+		return fmt.Errorf("%w while %d sends to %d: %v", ErrMeshClosed, nd.id, to, err)
+	default:
+	}
+	return fmt.Errorf("transport: send %d->%d: %w", nd.id, to, err)
 }
 
 func (nd *tcpNode) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= nd.n || from == nd.id {
 		return nil, fmt.Errorf("transport: node %d cannot recv from %d", nd.id, from)
 	}
-	msg, ok := <-nd.inbox[from]
-	if !ok {
-		return nil, fmt.Errorf("transport: link %d->%d closed", from, nd.id)
+	wait := nd.mesh.opTimeout
+	for attempt := 0; attempt <= nd.mesh.opRetries; attempt++ {
+		timer := time.NewTimer(wait)
+		select {
+		case msg, ok := <-nd.inbox[from]:
+			timer.Stop()
+			if !ok {
+				return nil, fmt.Errorf("transport: link %d->%d closed", from, nd.id)
+			}
+			return msg, nil
+		case <-nd.mesh.done:
+			timer.Stop()
+			return nil, fmt.Errorf("%w while %d recvs from %d", ErrMeshClosed, nd.id, from)
+		case <-timer.C:
+			wait *= 2 // deadline backoff before the next bounded wait
+		}
 	}
-	return msg, nil
+	return nil, fmt.Errorf("transport: recv %d<-%d: no frame within %d attempts of %v", nd.id, from, nd.mesh.opRetries+1, nd.mesh.opTimeout)
 }

@@ -12,9 +12,15 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrMeshClosed is wrapped by every Send/Recv error caused by mesh
+// teardown, so callers can distinguish an orderly shutdown (first-error
+// teardown, cancellation) from a transport fault with errors.Is.
+var ErrMeshClosed = errors.New("transport: mesh closed")
 
 // Node is one endpoint's view of the mesh.
 type Node interface {

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -180,6 +182,129 @@ func TestTCPMeshDoubleCloseSafe(t *testing.T) {
 	}
 	if err := m.Close(); err != nil {
 		t.Fatal("double close must be safe")
+	}
+}
+
+// Regression: Send used to block forever on <-ready[to] if the mesh
+// was torn down before the peer attached (a failed construction or an
+// early Close). It must now observe the done channel and fail.
+func TestTCPMeshSendBeforeAttachUnblocksOnClose(t *testing.T) {
+	m := &TCPMesh{n: 2, done: make(chan struct{}), opTimeout: DefaultOpTimeout, opRetries: DefaultOpRetries}
+	m.nodes = []*tcpNode{newTCPNode(m, 0, 2), newTCPNode(m, 1, 2)}
+	errc := make(chan error, 1)
+	go func() { errc <- m.Node(0).Send(1, []byte{1}) }()
+	time.Sleep(10 * time.Millisecond) // let the send park on ready
+	m.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrMeshClosed) {
+			t.Fatalf("send = %v, want ErrMeshClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send still blocked after mesh close")
+	}
+}
+
+func TestHandshakePeerValidation(t *testing.T) {
+	frame := func(id uint32) *bytes.Reader {
+		var hdr [4]byte
+		hdr[0], hdr[1], hdr[2], hdr[3] = byte(id), byte(id>>8), byte(id>>16), byte(id>>24)
+		return bytes.NewReader(hdr[:])
+	}
+	if p, err := handshakePeer(frame(2), 3); err != nil || p != 2 {
+		t.Fatalf("valid handshake = (%d, %v)", p, err)
+	}
+	// An out-of-range announcement used to panic attach via conns[peer];
+	// it must be rejected instead.
+	if _, err := handshakePeer(frame(3), 3); err == nil {
+		t.Fatal("peer == limit must be rejected")
+	}
+	if _, err := handshakePeer(frame(0xffffffff), 3); err == nil {
+		t.Fatal("huge peer ID must be rejected")
+	}
+	if _, err := handshakePeer(bytes.NewReader([]byte{1, 2}), 3); err == nil {
+		t.Fatal("truncated handshake must error")
+	}
+}
+
+// A silent peer must not park Recv forever: the per-op deadline with
+// bounded retries turns it into an error.
+func TestTCPMeshRecvDeadlineExpires(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetOpDeadline(20*time.Millisecond, 1)
+	start := time.Now()
+	if _, err := m.Node(0).Recv(1); err == nil {
+		t.Fatal("recv from a silent peer must hit the deadline")
+	} else if errors.Is(err, ErrMeshClosed) {
+		t.Fatalf("deadline error must not claim the mesh closed: %v", err)
+	}
+	// 20ms + 40ms backoff, plus slack: far below a hang.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v", elapsed)
+	}
+}
+
+func TestTCPMeshSendAfterCloseErrors(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := m.Node(0).Send(1, []byte{1}); !errors.Is(err, ErrMeshClosed) {
+		t.Fatalf("send after close = %v, want ErrMeshClosed", err)
+	}
+	if _, err := m.Node(1).Recv(0); err == nil {
+		t.Fatal("recv after close must error")
+	}
+}
+
+// Mid-collective teardown: a Recv already parked on its inbox must
+// unwind when the mesh closes underneath it.
+func TestTCPMeshCloseUnblocksPendingRecv(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Node(0).Recv(1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("recv must error when the mesh closes")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv still blocked after mesh close")
+	}
+}
+
+func TestTCPMeshSendRejectsOversizedPayload(t *testing.T) {
+	m, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Node(0).Send(1, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized payload must be rejected before hitting the wire")
+	}
+}
+
+func TestChanMeshClosedErrorsWrapSentinel(t *testing.T) {
+	m := NewChanMesh(2)
+	m.Close()
+	if err := m.Node(0).Send(1, nil); !errors.Is(err, ErrMeshClosed) {
+		t.Fatalf("send = %v, want ErrMeshClosed", err)
+	}
+	if _, err := m.Node(0).Recv(1); !errors.Is(err, ErrMeshClosed) {
+		t.Fatalf("recv = %v, want ErrMeshClosed", err)
 	}
 }
 

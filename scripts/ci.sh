@@ -1,6 +1,9 @@
 #!/bin/sh
 # CI gate: vet, build, full tests, and a race-detector pass over every
-# package the parallel execution engine touches.
+# package the parallel execution engine touches, plus a dedicated
+# race run of the fault-injection scenarios (crash teardown, degraded
+# membership, transport deadlines) in internal/runtime and
+# internal/transport.
 set -eux
 
 go vet ./...
@@ -8,3 +11,5 @@ go build ./...
 go test ./...
 go test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
     ./internal/core ./internal/runtime ./internal/transport
+go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
+    ./internal/runtime ./internal/transport
