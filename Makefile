@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench bench-report ci
 
 all: ci
 
@@ -15,9 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
-		./internal/core ./internal/runtime ./internal/transport
+		./internal/core ./internal/runtime ./internal/transport ./internal/metrics
 
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
+
+# Scalability experiment with the observability subsystem on: emits the
+# structured run report (tables + metrics snapshot) and a Perfetto-
+# loadable Chrome trace.
+bench-report:
+	$(GO) run ./cmd/socflow-bench --exp scalability --samples 480 --epochs 6 \
+		--metrics-out BENCH_pr3.json --trace-out BENCH_pr3.trace.json
 
 ci: vet build test race

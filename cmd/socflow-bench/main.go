@@ -8,16 +8,24 @@
 //	socflow-bench --exp all             # everything
 //	socflow-bench --exp table3 --full   # full 8-scenario grid
 //	socflow-bench --list                # experiment catalog
+//
+// With --metrics-out the run collects an observability report (epoch
+// spans on both clocks, sim latency/energy totals, transport byte
+// counters) and writes it as JSON; --trace-out writes the same spans in
+// Chrome trace_event format, loadable in Perfetto or chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"socflow/internal/core"
 	"socflow/internal/exp"
+	"socflow/internal/metrics"
 )
 
 type experiment struct {
@@ -122,14 +130,16 @@ func catalog() []experiment {
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (see --list), or 'all'")
-		full    = flag.Bool("full", false, "run the full 8-scenario grid where applicable")
-		list    = flag.Bool("list", false, "list available experiments")
-		samples = flag.Int("samples", 0, "functional training samples (0 = default 960)")
-		epochs  = flag.Int("epochs", 0, "functional epochs (0 = default 12)")
-		socs    = flag.Int("socs", 0, "fleet size (0 = default 32)")
-		groups  = flag.Int("groups", 0, "SoCFlow logical groups (0 = per-experiment default)")
-		seed    = flag.Uint64("seed", 0, "random seed (0 = default 1)")
+		expID      = flag.String("exp", "", "experiment id (see --list), or 'all'")
+		full       = flag.Bool("full", false, "run the full 8-scenario grid where applicable")
+		list       = flag.Bool("list", false, "list available experiments")
+		samples    = flag.Int("samples", 0, "functional training samples (0 = default 960)")
+		epochs     = flag.Int("epochs", 0, "functional epochs (0 = default 12)")
+		socs       = flag.Int("socs", 0, "fleet size (0 = default 32)")
+		groups     = flag.Int("groups", 0, "SoCFlow logical groups (0 = per-experiment default)")
+		seed       = flag.Uint64("seed", 0, "random seed (0 = default 1)")
+		metricsOut = flag.String("metrics-out", "", "write the run report (tables + metrics snapshot) as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write the run's spans in Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -145,18 +155,34 @@ func main() {
 
 	o := exp.Options{TrainSamples: *samples, Epochs: *epochs, NumSoCs: *socs, Groups: *groups, Seed: *seed}
 
+	var reg *metrics.Registry
+	if *metricsOut != "" || *traceOut != "" {
+		reg = metrics.New()
+		// Pre-register the headline traffic counters so a purely
+		// simulated run reports explicit zeros instead of omitting them.
+		reg.Counter("transport.sent.bytes")
+		reg.Counter("transport.recv.bytes")
+		reg.Counter("sim.net.bytes")
+		o.Metrics = reg
+	}
+
 	ids := map[string]experiment{}
 	var order []string
 	for _, e := range exps {
 		ids[e.id] = e
 		order = append(order, e.id)
 	}
+	// Friendly aliases for experiments better known by what they show.
+	aliases := map[string]string{"scalability": "fig10"}
 	var run []string
 	if *expID == "all" {
 		sort.Strings(order)
 		run = order
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
+			if a, ok := aliases[id]; ok {
+				id = a
+			}
 			if _, ok := ids[id]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; try --list\n", id)
 				os.Exit(2)
@@ -164,14 +190,55 @@ func main() {
 			run = append(run, id)
 		}
 	}
+
+	// Every experiment runs even if an earlier one fails; errors are
+	// recorded in the report and turn the exit status non-zero at the
+	// end.
+	rep := &exp.Report{}
+	finish := core.BeginKernelHarvest(reg)
 	for _, id := range run {
+		span := reg.BeginSpan(id, "experiment", 0)
 		tables, err := ids[id].run(o, *full)
+		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			rep.AddError(id, err)
+			continue
 		}
-		for _, t := range tables {
+		rep.Add(id, tables)
+	}
+	finish()
+	for _, e := range rep.Experiments {
+		for _, t := range e.Tables {
 			fmt.Println(t)
 		}
 	}
+	rep.Metrics = reg.Snapshot()
+	if *metricsOut != "" {
+		if err := writeOut(*metricsOut, rep.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeOut(*traceOut, rep.Metrics.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
+func writeOut(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,16 +7,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"socflow"
 	"socflow/internal/cluster"
+	"socflow/internal/metrics"
 )
 
 func main() {
 	socs := flag.Int("socs", 0, "also sample a busy schedule for this many SoCs")
 	threshold := flag.Float64("threshold", 0.2, "idle-window busy-fraction threshold")
 	seed := flag.Uint64("seed", 1, "schedule sampling seed")
+	metricsOut := flag.String("metrics-out", "", "write the tidal-model gauges as a metrics JSON snapshot to this file")
 	flag.Parse()
 
 	profile := socflow.TidalProfile()
@@ -40,6 +43,26 @@ func main() {
 				}
 			}
 			fmt.Printf("  %02d:00 %3d free\n", h, free)
+		}
+	}
+
+	if *metricsOut != "" {
+		reg := metrics.New()
+		for h, v := range profile {
+			reg.Gauge(fmt.Sprintf("tidal.busy.fraction.h%02d", h)).Set(v)
+		}
+		reg.Gauge("tidal.idle.window.start.hour").Set(start)
+		reg.Gauge("tidal.idle.window.hours").Set(hours)
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.Snapshot().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socflow-trace:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -11,12 +11,26 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 
 	"socflow"
+	"socflow/internal/metrics"
 )
+
+func writeOut(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var cfg socflow.Config
@@ -34,6 +48,8 @@ func main() {
 	gen := flag.String("gen", "sd865", "SoC generation: sd865|sd8gen1")
 	par := flag.Int("parallel", 0, "host worker threads (0 = all CPUs)")
 	trace := flag.Bool("trace", false, "stream per-epoch progress to stderr")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write the run's spans in Chrome trace_event JSON to this file")
 	flag.Parse()
 	cfg.Seed = *seed
 	cfg.Generation = *gen
@@ -50,11 +66,26 @@ func main() {
 	if *trace {
 		opts = append(opts, socflow.WithTrace(os.Stderr))
 	}
+	if *metricsOut != "" || *traceOut != "" {
+		opts = append(opts, socflow.WithMetrics(metrics.New()))
+	}
 
 	rep, err := socflow.Run(ctx, cfg, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "socflow-train:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := writeOut(*metricsOut, rep.Metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "socflow-train:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeOut(*traceOut, rep.Metrics.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "socflow-train:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("strategy=%s model=%s dataset=%s socs=%d\n", rep.Strategy, rep.Model, rep.Dataset, cfg.NumSoCs)

@@ -6,6 +6,7 @@ import (
 
 	"socflow/internal/core"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/runtime"
 	"socflow/internal/transport"
@@ -65,6 +66,11 @@ type DistributedReport struct {
 	BestAccuracy float64
 	// Topology echoes the integrity-greedy mapping used.
 	Topology [][]int
+	// Metrics is a snapshot of the run's observability registry —
+	// per-worker wall spans, transport byte/retry counters, fault
+	// events — when WithMetrics, WithTrace, or WithLogger was used
+	// (nil otherwise).
+	Metrics *metrics.RunReport
 }
 
 // RunDistributed trains with the concurrent distributed engine. Unlike
@@ -98,6 +104,8 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 	train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
 
 	mapping := core.IntegrityGreedyMap(cfg.NumSoCs, cfg.Groups, 5)
+	reg := o.registry()
+	o.subscribe(reg)
 
 	var mesh transport.Mesh
 	if cfg.InProcess {
@@ -108,6 +116,7 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 			return nil, fmt.Errorf("socflow: building TCP mesh: %w", err)
 		}
 		defer tcp.Close()
+		tcp.SetMetrics(reg)
 		mesh = tcp
 	}
 
@@ -118,14 +127,16 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 		JobSpec:        cfg.JobSpec,
 		Groups:         runtime.GroupsFromMapping(mapping),
 		DegradeOnFault: cfg.DegradeOnFault,
+		Metrics:        reg,
 	}
 	if cfg.InjectCrashes > 0 {
 		dcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
 	}
-	if hook := o.epochHook(); hook != nil {
-		dcfg.EpochEnd = func(epoch int, acc float64) { hook(epoch, acc, 0) }
-	}
+	finish := core.BeginKernelHarvest(reg)
+	span := reg.BeginSpan("run", "facade", 0)
 	res, err := runtime.RunDistributed(ctx, mesh, spec, train, val, dcfg)
+	span.End()
+	finish()
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +146,7 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 			rep.BestAccuracy = a
 		}
 	}
+	rep.Metrics = reg.Snapshot()
 	return rep, nil
 }
 

@@ -1,13 +1,19 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"socflow/internal/metrics"
+)
 
 // EnergyMeter integrates per-SoC energy over the simulated timeline.
 // The engine reports how long each SoC spent in each state; the meter
 // prices the states with the calibrated powers in params.go (fitted to
-// Fig. 9 / Fig. 11).
+// Fig. 9 / Fig. 11). Per-state totals are kept alongside the per-SoC
+// sums so Publish can report where the joules went.
 type EnergyMeter struct {
-	joules []float64
+	joules                 []float64
+	computeJ, commJ, idleJ float64
 }
 
 // NewEnergyMeter creates a meter for n SoCs.
@@ -17,30 +23,39 @@ func NewEnergyMeter(n int) *EnergyMeter {
 
 // AddCompute charges seconds of training on the given processor.
 func (m *EnergyMeter) AddCompute(soc int, seconds float64, proc Processor) {
+	var j float64
 	switch proc {
 	case CPU:
-		m.joules[soc] += seconds * PowerCPUTrainW
+		j = seconds * PowerCPUTrainW
 	case NPU:
-		m.joules[soc] += seconds * PowerNPUTrainW
+		j = seconds * PowerNPUTrainW
 	default:
 		panic(fmt.Sprintf("cluster: unknown processor %v", proc))
 	}
+	m.joules[soc] += j
+	m.computeJ += j
 }
 
 // AddMixedCompute charges a mixed-precision step where both processors
 // run for their own durations within the same wall-clock step.
 func (m *EnergyMeter) AddMixedCompute(soc int, cpuSeconds, npuSeconds float64) {
-	m.joules[soc] += cpuSeconds*PowerCPUTrainW + npuSeconds*PowerNPUTrainW
+	j := cpuSeconds*PowerCPUTrainW + npuSeconds*PowerNPUTrainW
+	m.joules[soc] += j
+	m.computeJ += j
 }
 
 // AddComm charges seconds of network synchronization.
 func (m *EnergyMeter) AddComm(soc int, seconds float64) {
-	m.joules[soc] += seconds * PowerCommW
+	j := seconds * PowerCommW
+	m.joules[soc] += j
+	m.commJ += j
 }
 
 // AddIdle charges seconds of waiting (e.g. a CG pipeline stall).
 func (m *EnergyMeter) AddIdle(soc int, seconds float64) {
-	m.joules[soc] += seconds * PowerIdleW
+	j := seconds * PowerIdleW
+	m.joules[soc] += j
+	m.idleJ += j
 }
 
 // SoC returns one SoC's accumulated joules.
@@ -57,3 +72,13 @@ func (m *EnergyMeter) Total() float64 {
 
 // TotalKJ returns the fleet total in kilojoules, the unit of Fig. 9.
 func (m *EnergyMeter) TotalKJ() float64 { return m.Total() / 1000 }
+
+// Publish accumulates the meter's totals into the registry's
+// sim.energy.* gauges. Safe on a nil registry; gauges add, so several
+// runs sharing one registry report fleet-aggregate energy.
+func (m *EnergyMeter) Publish(reg *metrics.Registry) {
+	reg.Gauge("sim.energy.total.joules").Add(m.Total())
+	reg.Gauge("sim.energy.compute.joules").Add(m.computeJ)
+	reg.Gauge("sim.energy.comm.joules").Add(m.commJ)
+	reg.Gauge("sim.energy.idle.joules").Add(m.idleJ)
+}

@@ -6,6 +6,7 @@ import (
 
 	"socflow/internal/cluster"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/tensor"
 )
@@ -46,10 +47,20 @@ type Job struct {
 	// strategy's goroutine, outside any parallel section, so it may
 	// write logs or cancel the run's context.
 	EpochEnd func(epoch int, acc, simSeconds float64)
+	// Metrics, when non-nil, receives the run's observability stream:
+	// dual-clock epoch observations, simulated-timeline spans, and the
+	// sim.* counters and gauges. Nil disables instrumentation at zero
+	// cost (every metrics method is a no-op on nil receivers).
+	Metrics *metrics.Registry
 }
 
-// epochEnd invokes the EpochEnd hook if one is installed.
+// epochEnd is the funnel every strategy reports epochs through: it
+// stamps the epoch on both clocks via the metrics registry, then
+// invokes the EpochEnd hook if one is installed. The registry's event
+// subscribers run here too — on the strategy goroutine, between
+// epochs — which is what lets a trace writer cancel the run cleanly.
 func (j *Job) epochEnd(epoch int, acc, simSeconds float64) {
+	j.Metrics.ObserveEpoch(epoch, acc, simSeconds)
 	if j.EpochEnd != nil {
 		j.EpochEnd(epoch, acc, simSeconds)
 	}
@@ -169,6 +180,24 @@ func (r *Result) MeanEpochSimSeconds() float64 {
 		return 0
 	}
 	return r.SimSeconds / float64(len(r.EpochSimSeconds))
+}
+
+// publishResult pushes a finished run's simulated totals into the
+// job's registry: run counts, simulated seconds, the Fig. 12 breakdown
+// attribution, and preemptions. Gauges accumulate, so a registry shared
+// across runs (the bench grid) reports grid totals.
+func publishResult(reg *metrics.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim.runs").Inc()
+	reg.Gauge("sim.seconds.total").Add(res.SimSeconds)
+	reg.Gauge("sim.breakdown.compute.seconds").Add(res.Breakdown.Compute)
+	reg.Gauge("sim.breakdown.sync.seconds").Add(res.Breakdown.Sync)
+	reg.Gauge("sim.breakdown.update.seconds").Add(res.Breakdown.Update)
+	if res.Preemptions > 0 {
+		reg.Counter("sim.preemptions").Add(int64(res.Preemptions))
+	}
 }
 
 // Strategy is a distributed training method (SoCFlow or a baseline).

@@ -141,5 +141,7 @@ func (s *FedSGD) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Resu
 		}
 	}
 	res.EnergyJ = meter.Total()
+	meter.Publish(job.Metrics)
+	publishResult(job.Metrics, res)
 	return res, nil
 }

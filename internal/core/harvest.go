@@ -1,0 +1,42 @@
+package core
+
+import (
+	"socflow/internal/metrics"
+	"socflow/internal/nn"
+	"socflow/internal/simnet"
+	"socflow/internal/tensor"
+)
+
+// BeginKernelHarvest snapshots the process-global kernel and simnet
+// statistics, enables GEMM timing, and returns a finish function that
+// publishes the run's deltas into reg. The underlying counters are
+// process-wide, so concurrent runs sharing the process see each other's
+// kernel activity folded together; per-run isolation would require
+// threading a handle through every tensor op, which the hot kernels
+// cannot afford.
+func BeginKernelHarvest(reg *metrics.Registry) (finish func()) {
+	if reg == nil {
+		return func() {}
+	}
+	prevTiming := tensor.EnableKernelTiming(true)
+	k0 := tensor.KernelSnapshot()
+	l0 := nn.LayerSnapshot()
+	s0 := simnet.SnapshotStats()
+	return func() {
+		tensor.EnableKernelTiming(prevTiming)
+		kd := tensor.KernelSnapshot().Delta(k0)
+		ld := nn.LayerSnapshot().Delta(l0)
+		sd := simnet.SnapshotStats().Delta(s0)
+		reg.Counter("tensor.gemm.ops").Add(kd.GEMMOps)
+		reg.Counter("tensor.gemm.flops").Add(kd.GEMMFLOPs)
+		reg.Counter("tensor.im2col.ops").Add(kd.Im2ColOps)
+		reg.Gauge("tensor.gemm.seconds").Add(float64(kd.GEMMNanos) / 1e9)
+		reg.Counter("nn.conv.forward").Add(ld.ConvForward)
+		reg.Counter("nn.conv.backward").Add(ld.ConvBackward)
+		reg.Counter("nn.dense.forward").Add(ld.DenseForward)
+		reg.Counter("nn.dense.backward").Add(ld.DenseBackward)
+		reg.Counter("simnet.flows").Add(sd.Flows)
+		reg.Counter("simnet.bytes").Add(sd.Bytes)
+		reg.Gauge("simnet.makespan.seconds").Add(sd.SimSeconds)
+	}
+}

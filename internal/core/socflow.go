@@ -318,6 +318,8 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 	res.EnergyJ = meter.Total()
 	res.Breakdown = tl.breakdown
 	res.Preemptions = tl.preemptions
+	meter.Publish(job.Metrics)
+	publishResult(job.Metrics, res)
 	for _, w := range groups[0].weights() {
 		res.FinalWeights = append(res.FinalWeights, w.Clone())
 	}
@@ -381,6 +383,7 @@ type timeline struct {
 
 	breakdown   Breakdown
 	preemptions int
+	simNow      float64 // simulated clock position, for span placement
 }
 
 func newTimeline(s *SoCFlow, job *Job, clu *cluster.Cluster, mapping *Mapping, plan *Plan) *timeline {
@@ -533,6 +536,8 @@ func (tl *timeline) epochTime(groups []*groupTrainer, active []int, meter *clust
 
 	// Attribution and energy. Compute/update charge per iteration; sync
 	// charges the group's CG window; the rest of the span is idle.
+	reg := job.Metrics
+	var simBytes float64
 	fIters := float64(iters)
 	for _, g := range active {
 		members := tl.mapping.Groups[g]
@@ -549,7 +554,36 @@ func (tl *timeline) epochTime(groups []*groupTrainer, active []int, meter *clust
 		tl.breakdown.Compute += fIters * compute[g] * float64(len(members))
 		tl.breakdown.Sync += commT * float64(len(members))
 		tl.breakdown.Update += fIters * upd * float64(len(members))
+		if reg != nil {
+			// Simulated-clock spans, one compute+sync pair per group per
+			// epoch. The real schedule interleaves CG windows; the spans
+			// compress each group's epoch into its compute total followed
+			// by its communication total — the right areas, laid end to
+			// end — so the trace stays readable at fleet scale.
+			comp := fIters * compute[g]
+			reg.AddSimSpan("compute", "sim.group", g, tl.simNow, comp,
+				map[string]float64{"iters": fIters, "cg": float64(cgi)})
+			reg.AddSimSpan("sync", "sim.group", g, tl.simNow+comp, commT, nil)
+			// Ring traffic: every member moves 2(n-1)/n · payload per
+			// iteration, so the group moves 2(n-1) · payload.
+			if n := len(members); n > 1 {
+				simBytes += fIters * 2 * float64(n-1) * payload
+			}
+		}
 	}
+	if reg != nil {
+		// Delayed aggregation: leader ring plus per-group broadcasts.
+		if len(active) > 1 {
+			simBytes += 2 * float64(len(active)-1) * payload
+			for _, g := range active {
+				if n := len(tl.mapping.Groups[g]); n > 1 {
+					simBytes += float64(n-1) * payload
+				}
+			}
+		}
+		reg.Counter("sim.net.bytes").Add(int64(simBytes))
+	}
+	tl.simNow += span
 	if tl.s.Preempt != nil {
 		tl.preemptions += len(tl.mapping.Groups) - len(active)
 	}

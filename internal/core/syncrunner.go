@@ -119,6 +119,8 @@ func (s *SyncSGD) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 		}
 	}
 	res.EnergyJ = meter.Total()
+	meter.Publish(job.Metrics)
+	publishResult(job.Metrics, res)
 	return res, nil
 }
 

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"socflow/internal/metrics"
+)
+
+// ExperimentResult is one experiment's outcome inside a bench Report:
+// its tables on success, or the error that stopped it.
+type ExperimentResult struct {
+	ID     string   `json:"id"`
+	Tables []*Table `json:"tables,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Report aggregates one bench invocation: every experiment's tables or
+// error, plus the observability snapshot when a metrics registry was
+// attached to the run. The bench command renders tables from here and
+// serializes the whole struct for --metrics-out.
+type Report struct {
+	Experiments []ExperimentResult `json:"experiments"`
+	Metrics     *metrics.RunReport `json:"metrics,omitempty"`
+}
+
+// Add records a successful experiment.
+func (r *Report) Add(id string, tables []*Table) {
+	r.Experiments = append(r.Experiments, ExperimentResult{ID: id, Tables: tables})
+}
+
+// AddError records a failed experiment.
+func (r *Report) AddError(id string, err error) {
+	r.Experiments = append(r.Experiments, ExperimentResult{ID: id, Error: err.Error()})
+}
+
+// Failed reports whether any experiment errored.
+func (r *Report) Failed() bool {
+	for _, e := range r.Experiments {
+		if e.Error != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -9,6 +9,7 @@ import (
 	"socflow/internal/cluster"
 	"socflow/internal/core"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 )
 
@@ -66,6 +67,10 @@ type Options struct {
 	Groups int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Metrics, when non-nil, receives every run's observability stream
+	// (sim.* counters/gauges, dual-clock epoch spans). Shared across the
+	// experiment's whole strategy grid, so totals are grid totals.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +142,7 @@ func jobFor(sc Scenario, o Options) *core.Job {
 		Momentum:     0.9,
 		Epochs:       epochs,
 		Seed:         o.Seed,
+		Metrics:      o.Metrics,
 	}
 }
 

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The Chrome trace_event export places the two clocks side by side as
+// two processes: open the file in chrome://tracing or
+// https://ui.perfetto.dev and "wall-clock" rows show where host time
+// went while "simulated-clock" rows show the discrete-event model's
+// timeline. Timestamps and durations are microseconds, per the format.
+const (
+	pidWall = 1
+	pidSim  = 2
+)
+
+// traceEvent is one entry of the trace_event JSON object format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container variant of the format,
+// which tolerates the extra top-level keys and is what Perfetto's
+// legacy JSON importer expects.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the report's spans in Chrome trace_event
+// format, loadable in chrome://tracing and Perfetto.
+func (rep *RunReport) WriteChromeTrace(w io.Writer) error {
+	evs := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: pidWall, Args: map[string]any{"name": "wall-clock"}},
+		{Name: "process_name", Ph: "M", PID: pidSim, Args: map[string]any{"name": "simulated-clock"}},
+	}
+	for _, s := range rep.Spans {
+		pid := pidWall
+		if s.Clock == ClockSim {
+			pid = pidSim
+		}
+		cat := s.Cat
+		if cat == "" {
+			cat = "span"
+		}
+		var args map[string]any
+		if len(s.Args) > 0 {
+			args = make(map[string]any, len(s.Args))
+			for k, v := range s.Args {
+				args[k] = v
+			}
+		}
+		evs = append(evs, traceEvent{
+			Name: s.Name,
+			Cat:  cat,
+			Ph:   "X",
+			PID:  pid,
+			TID:  s.TID,
+			TS:   s.Start * 1e6,
+			Dur:  s.Dur * 1e6,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

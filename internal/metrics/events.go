@@ -1,0 +1,108 @@
+package metrics
+
+import "time"
+
+// Event kinds emitted by the instrumented stack.
+const (
+	// KindEpoch fires after every functional epoch (or federated
+	// round), from ObserveEpoch. SimSeconds is that epoch's simulated
+	// time (0 on the distributed track, which has no simulated clock).
+	KindEpoch = "epoch"
+	// KindFault fires when an injected fault triggers (e.g. a worker
+	// crash taken as a clean degraded exit).
+	KindFault = "fault"
+	// KindWorkerError fires when a distributed worker fails and trips
+	// the first-error teardown.
+	KindWorkerError = "worker-error"
+)
+
+// Event is one notification on the registry's event stream. Not every
+// field is meaningful for every kind; unused fields are zero.
+type Event struct {
+	Kind       string  `json:"kind"`
+	Epoch      int     `json:"epoch"`
+	Iter       int     `json:"iter,omitempty"`
+	Node       int     `json:"node,omitempty"`
+	Acc        float64 `json:"acc,omitempty"`
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// Subscribe registers fn on the event stream. Emit calls subscribers
+// synchronously on the emitting goroutine — for epoch events that is
+// the strategy's own goroutine between epochs, outside any parallel
+// section, so a subscriber may write logs or cancel the run's context
+// (the WithTrace contract).
+func (r *Registry) Subscribe(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+// Emit delivers e to every subscriber, synchronously, in subscription
+// order.
+func (r *Registry) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// EpochStat is one epoch on both clocks: where it started and how long
+// it took in host wall time, and the same on the simulated clock.
+type EpochStat struct {
+	Epoch       int     `json:"epoch"` // 0-based, as strategies count
+	Acc         float64 `json:"acc"`
+	WallStart   float64 `json:"wall_start"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimStart    float64 `json:"sim_start"`
+	SimSeconds  float64 `json:"sim_seconds"`
+}
+
+// ObserveEpoch is the single funnel every training strategy reports
+// epochs through. It stamps the epoch on both clocks (wall time since
+// the previous epoch mark; simulated time appended to the registry's
+// running simulated clock), records matching spans, updates the
+// standard train.* instruments, and emits a KindEpoch event.
+func (r *Registry) ObserveEpoch(epoch int, acc, simSeconds float64) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	st := EpochStat{
+		Epoch:       epoch,
+		Acc:         acc,
+		WallStart:   r.lastMark.Sub(r.wallOrigin).Seconds(),
+		WallSeconds: now.Sub(r.lastMark).Seconds(),
+		SimStart:    r.simNow,
+		SimSeconds:  simSeconds,
+	}
+	r.lastMark = now
+	r.simNow += simSeconds
+	simEnd := r.simNow
+	r.epochs = append(r.epochs, st)
+	args := map[string]float64{"epoch": float64(epoch + 1), "acc": acc}
+	r.addSpanLocked(Span{Name: "epoch", Cat: "train", Clock: ClockWall, Start: st.WallStart, Dur: st.WallSeconds, Args: args})
+	if simSeconds > 0 {
+		r.addSpanLocked(Span{Name: "epoch", Cat: "train", Clock: ClockSim, Start: st.SimStart, Dur: st.SimSeconds, Args: args})
+	}
+	r.mu.Unlock()
+
+	r.Counter("train.epochs").Inc()
+	r.Gauge("train.accuracy").Set(acc)
+	r.Gauge("sim.clock.seconds").Set(simEnd)
+	r.Histogram("train.epoch.wall.seconds", DefaultSecondsBuckets).Observe(st.WallSeconds)
+	if simSeconds > 0 {
+		r.Histogram("train.epoch.sim.seconds", DefaultSecondsBuckets).Observe(simSeconds)
+	}
+	r.Emit(Event{Kind: KindEpoch, Epoch: epoch, Acc: acc, SimSeconds: simSeconds})
+}

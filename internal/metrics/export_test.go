@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+// goldenReport is hand-built (no clocks involved) so the exporter
+// output is byte-stable across machines and runs.
+func goldenReport() *RunReport {
+	return &RunReport{
+		WallSeconds: 1.5,
+		SimSeconds:  120,
+		Counters:    map[string]int64{"sim.net.bytes": 1024, "train.epochs": 2},
+		Gauges:      map[string]float64{"sim.energy.total.joules": 950.5, "train.accuracy": 0.75},
+		Histograms: map[string]HistogramSnapshot{
+			"train.epoch.sim.seconds": {
+				Bounds: []float64{50, 100},
+				Counts: []int64{0, 2, 0},
+				Count:  2, Sum: 120, Min: 55, Max: 65,
+			},
+		},
+		Epochs: []EpochStat{
+			{Epoch: 0, Acc: 0.5, WallStart: 0, WallSeconds: 0.7, SimStart: 0, SimSeconds: 55},
+			{Epoch: 1, Acc: 0.75, WallStart: 0.7, WallSeconds: 0.8, SimStart: 55, SimSeconds: 65},
+		},
+		Spans: []Span{
+			{Name: "epoch", Cat: "train", Clock: ClockWall, TID: 0, Start: 0, Dur: 0.7, Args: map[string]float64{"epoch": 1}},
+			{Name: "epoch", Cat: "train", Clock: ClockSim, TID: 0, Start: 0, Dur: 55, Args: map[string]float64{"epoch": 1}},
+			{Name: "sync", Cat: "sim.group", Clock: ClockSim, TID: 3, Start: 40, Dur: 15},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestJSONExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json.golden", buf.Bytes())
+	// And it must round-trip.
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SimSeconds != 120 || back.Counters["sim.net.bytes"] != 1024 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestChromeTraceExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json.golden", buf.Bytes())
+}
+
+// Validate the structural contract Perfetto's JSON importer relies on:
+// a traceEvents array whose entries all have ph/pid/ts, duration events
+// have dur, metadata events name both processes.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2+len(goldenReport().Spans) {
+		t.Fatalf("event count %d", len(doc.TraceEvents))
+	}
+	procs := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		pid, ok := ev["pid"].(float64)
+		if !ok || (pid != pidWall && pid != pidSim) {
+			t.Fatalf("bad pid in %v", ev)
+		}
+		switch ph {
+		case "M":
+			args := ev["args"].(map[string]any)
+			procs[pid], _ = args["name"].(string)
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without ts: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	if procs[pidWall] != "wall-clock" || procs[pidSim] != "simulated-clock" {
+		t.Fatalf("process metadata missing: %v", procs)
+	}
+}

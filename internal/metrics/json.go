@@ -1,0 +1,15 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON serializes the report as indented JSON. Map keys sort
+// lexically (encoding/json's contract), so output is deterministic for
+// a given report.
+func (rep *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

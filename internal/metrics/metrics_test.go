@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// Bucket semantics: bucket i counts v <= Bounds[i] (first match), the
+// implicit last bucket everything above the final bound. Values landing
+// exactly on a bound belong to that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.Histogram("t", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 7, -1} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["t"]
+	want := []int64{3, 2, 1, 1} // {-1, 0.5, 1}, {1.5, 2}, {5}, {7}
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(snap.Counts), len(want))
+	}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 7 || snap.Sum != 16 || snap.Min != -1 || snap.Max != 7 {
+		t.Fatalf("summary wrong: %+v", snap)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds must panic")
+		}
+	}()
+	New().Histogram("bad", []float64{1, 1})
+}
+
+// Run under -race: concurrent writers on every instrument type, plus
+// span and event traffic, must be safe and lose nothing.
+func TestConcurrentRegistry(t *testing.T) {
+	r := New()
+	var delivered Counter
+	r.Subscribe(func(Event) { delivered.Inc() })
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{0.5}).Observe(float64(i))
+				r.AddSimSpan("s", "t", w, float64(i), 1, nil)
+				sp := r.BeginSpan("w", "t", w)
+				sp.End()
+				r.Emit(Event{Kind: "tick", Node: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * each
+	snap := r.Snapshot()
+	if snap.Counters["c"] != total {
+		t.Fatalf("counter lost updates: %d", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != total {
+		t.Fatalf("gauge lost updates: %v", snap.Gauges["g"])
+	}
+	if snap.Histograms["h"].Count != total {
+		t.Fatalf("histogram lost updates: %d", snap.Histograms["h"].Count)
+	}
+	if got := int64(len(snap.Spans)) + snap.DroppedSpans; got != 2*total {
+		t.Fatalf("spans+dropped = %d, want %d", got, 2*total)
+	}
+	if delivered.Value() != total {
+		t.Fatalf("events delivered: %d", delivered.Value())
+	}
+}
+
+// Everything must be callable on nil receivers: that is what makes
+// unconditional instrumentation free when metrics are off.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(3)
+	if r.Counter("c").Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	r.Histogram("h", []float64{1}).Observe(1)
+	r.AddSpan(Span{})
+	r.AddSimSpan("s", "", 0, 0, 1, nil)
+	r.BeginSpan("s", "", 0).End()
+	r.Subscribe(func(Event) {})
+	r.Emit(Event{})
+	r.ObserveEpoch(0, 0.5, 1)
+	r.SetMaxSpans(1)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshots non-nil")
+	}
+}
+
+func TestObserveEpochDualClock(t *testing.T) {
+	r := New()
+	var events []Event
+	r.Subscribe(func(e Event) { events = append(events, e) })
+	r.ObserveEpoch(0, 0.25, 10)
+	r.ObserveEpoch(1, 0.5, 12)
+	snap := r.Snapshot()
+
+	if len(snap.Epochs) != 2 {
+		t.Fatalf("epochs: %d", len(snap.Epochs))
+	}
+	e0, e1 := snap.Epochs[0], snap.Epochs[1]
+	if e0.SimStart != 0 || e0.SimSeconds != 10 || e1.SimStart != 10 || e1.SimSeconds != 12 {
+		t.Fatalf("sim clock broken: %+v %+v", e0, e1)
+	}
+	if e1.WallStart < e0.WallStart+e0.WallSeconds-1e-9 {
+		t.Fatalf("wall epochs overlap: %+v %+v", e0, e1)
+	}
+	if snap.SimSeconds != 22 {
+		t.Fatalf("sim clock position: %v", snap.SimSeconds)
+	}
+	if snap.Counters["train.epochs"] != 2 || snap.Gauges["train.accuracy"] != 0.5 {
+		t.Fatalf("train instruments: %v / %v", snap.Counters, snap.Gauges)
+	}
+	// One wall + one sim span per epoch.
+	var wall, sim int
+	for _, s := range snap.Spans {
+		switch s.Clock {
+		case ClockWall:
+			wall++
+		case ClockSim:
+			sim++
+		}
+	}
+	if wall != 2 || sim != 2 {
+		t.Fatalf("spans: %d wall, %d sim", wall, sim)
+	}
+	if len(events) != 2 || events[1].Kind != KindEpoch || events[1].Acc != 0.5 || events[1].SimSeconds != 12 {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	r := New()
+	r.SetMaxSpans(2)
+	for i := 0; i < 5; i++ {
+		r.AddSimSpan("s", "", 0, float64(i), 1, nil)
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 || snap.DroppedSpans != 3 {
+		t.Fatalf("cap broken: %d spans, %d dropped", len(snap.Spans), snap.DroppedSpans)
+	}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import "time"
+
+// HistogramSnapshot is a histogram's state at snapshot time. Counts
+// has len(Bounds)+1 entries; the last is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// RunReport is a registry frozen at a point in time: the structured,
+// machine-readable outcome of a run. It serializes with WriteJSON and
+// exports to chrome://tracing / Perfetto with WriteChromeTrace.
+type RunReport struct {
+	// WallSeconds is the registry's age at snapshot time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the simulated clock's position (cumulative over
+	// every epoch observed through this registry).
+	SimSeconds   float64                      `json:"sim_seconds"`
+	Counters     map[string]int64             `json:"counters,omitempty"`
+	Gauges       map[string]float64           `json:"gauges,omitempty"`
+	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Epochs       []EpochStat                  `json:"epochs,omitempty"`
+	Spans        []Span                       `json:"spans,omitempty"`
+	DroppedSpans int64                        `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot freezes the registry. The registry stays usable; snapshots
+// are cheap enough to take per run when one registry spans several.
+func (r *Registry) Snapshot() *RunReport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	rep := &RunReport{
+		WallSeconds:  time.Since(r.wallOrigin).Seconds(),
+		SimSeconds:   r.simNow,
+		Counters:     make(map[string]int64, len(r.counters)),
+		Gauges:       make(map[string]float64, len(r.gauges)),
+		Epochs:       append([]EpochStat(nil), r.epochs...),
+		Spans:        append([]Span(nil), r.spans...),
+		DroppedSpans: r.droppedSpans,
+	}
+	for name, c := range r.counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		rep.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Histograms lock themselves; taking them outside r.mu keeps lock
+	// order flat.
+	if len(hists) > 0 {
+		rep.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for name, h := range hists {
+			rep.Histograms[name] = h.snapshot()
+		}
+	}
+	return rep
+}

@@ -35,6 +35,7 @@ func NewConv2D(r *tensor.RNG, inC, outC, k, stride, pad int) *Conv2D {
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("Conv2D", x, 4)
+	lstatConvFwd.Add(1)
 	n := x.Shape[0]
 	c.inShape = append(c.inShape[:0], x.Shape...)
 	c.oh, c.ow = c.P.OutSize(x.Shape[2], x.Shape[3])
@@ -49,6 +50,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkDims("Conv2D", grad, 4)
+	lstatConvBwd.Add(1)
 	n := grad.Shape[0]
 	// Back to [N*OH*OW, OutC] layout to mirror the forward pass.
 	g2 := nchwToNHWC(grad, n, c.OutC, c.oh, c.ow)

@@ -25,6 +25,7 @@ func NewDense(r *tensor.RNG, in, out int) *Dense {
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("Dense", x, 2)
+	lstatDenseFwd.Add(1)
 	d.x = x
 	y := tensor.MatMul(x, d.Weight.W)
 	tensor.AddRowVector(y, d.Bias.W)
@@ -34,6 +35,7 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkDims("Dense", grad, 2)
+	lstatDenseBwd.Add(1)
 	// dW = xᵀ · grad ; db = Σ_rows grad ; dx = grad · Wᵀ
 	tensor.AddInPlace(d.Weight.Grad, tensor.MatMulT1(d.x, grad))
 	tensor.AddInPlace(d.Bias.Grad, tensor.SumRows(grad))

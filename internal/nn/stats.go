@@ -1,0 +1,41 @@
+package nn
+
+import "sync/atomic"
+
+// Package-level layer-pass counters, harvested by snapshot delta like
+// tensor's kernel counters (see tensor/stats.go for the concurrency
+// caveat). Conv and dense layers dominate the micro models' cost, so
+// counting their passes gives the per-run op profile the metrics layer
+// reports.
+var (
+	lstatConvFwd  atomic.Int64
+	lstatConvBwd  atomic.Int64
+	lstatDenseFwd atomic.Int64
+	lstatDenseBwd atomic.Int64
+)
+
+// LayerStats is a snapshot of the layer-pass counters.
+type LayerStats struct {
+	ConvForward, ConvBackward   int64
+	DenseForward, DenseBackward int64
+}
+
+// LayerSnapshot reads the current counter values.
+func LayerSnapshot() LayerStats {
+	return LayerStats{
+		ConvForward:   lstatConvFwd.Load(),
+		ConvBackward:  lstatConvBwd.Load(),
+		DenseForward:  lstatDenseFwd.Load(),
+		DenseBackward: lstatDenseBwd.Load(),
+	}
+}
+
+// Delta returns s - since, the layer passes between two snapshots.
+func (s LayerStats) Delta(since LayerStats) LayerStats {
+	return LayerStats{
+		ConvForward:   s.ConvForward - since.ConvForward,
+		ConvBackward:  s.ConvBackward - since.ConvBackward,
+		DenseForward:  s.DenseForward - since.DenseForward,
+		DenseBackward: s.DenseBackward - since.DenseBackward,
+	}
+}

@@ -39,6 +39,9 @@ func RunMixedDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec
 	if cfg.Beta <= 0 || cfg.Beta >= 1 {
 		return nil, fmt.Errorf("runtime: beta %v out of (0,1)", cfg.Beta)
 	}
+	if cfg.Metrics != nil {
+		mesh = transport.WithMetrics(mesh, cfg.Metrics)
+	}
 	numNodes := mesh.Size()
 	nodeGroup := make([]int, numNodes)
 	for i := range nodeGroup {
@@ -159,6 +162,7 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 			resMu.Lock()
 			res.EpochAccuracies = append(res.EpochAccuracies, acc)
 			resMu.Unlock()
+			cfg.Metrics.ObserveEpoch(epoch, acc, 0)
 			if cfg.EpochEnd != nil {
 				cfg.EpochEnd(epoch, acc)
 			}

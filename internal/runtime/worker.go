@@ -8,6 +8,7 @@ import (
 
 	"socflow/internal/core"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/tensor"
 	"socflow/internal/transport"
@@ -30,6 +31,14 @@ type DistConfig struct {
 	// transport.WithFaults: the scripted crashes, link drops, and
 	// stragglers fire at their (epoch, iteration) trigger points.
 	Faults *transport.FaultPlan
+	// Metrics, when non-nil, receives the run's observability stream:
+	// the mesh is wrapped with transport.WithMetrics (byte/message
+	// counters), workers record per-epoch and per-iteration wall-clock
+	// spans and gradient-sync payload bytes, fault triggers and worker
+	// errors emit events, and the global leader funnels per-epoch
+	// accuracy through ObserveEpoch (with simulated time 0 — the
+	// distributed track runs on real time only).
+	Metrics *metrics.Registry
 	// DegradeOnFault selects what an injected crash does to the run.
 	// False (default): the crash is fatal — the first failing worker
 	// tears the mesh down, every peer unwinds, and RunDistributed
@@ -128,6 +137,12 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 			return nil, fmt.Errorf("runtime: fault plan leaves no survivor to finish the run")
 		}
 	}
+	// Metering sits inside the fault decorator: injected failures move
+	// no bytes and stay uncounted, while straggler-delayed traffic still
+	// meters once it flows.
+	if cfg.Metrics != nil {
+		mesh = transport.WithMetrics(mesh, cfg.Metrics)
+	}
 	if cfg.Faults != nil {
 		mesh = transport.WithFaults(mesh, cfg.Faults)
 	}
@@ -149,6 +164,8 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 		errMu.Lock()
 		workerErrs = append(workerErrs, fmt.Errorf("worker %d: %w", id, err))
 		errMu.Unlock()
+		cfg.Metrics.Counter("runtime.worker.errors").Inc()
+		cfg.Metrics.Emit(metrics.Event{Kind: metrics.KindWorkerError, Node: id, Detail: err.Error()})
 		closeOnce.Do(func() { mesh.Close() })
 	}
 
@@ -199,6 +216,17 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 	crashed := func(epoch, iter int) bool {
 		return cfg.degraded() && cfg.Faults.CrashedAt(me, epoch, iter)
 	}
+	// Instruments resolve once per worker; on a nil registry they are
+	// nil and every use below is a free no-op.
+	reg := cfg.Metrics
+	cGradBytes := reg.Counter("runtime.gradsync.bytes")
+	cIters := reg.Counter("runtime.iterations")
+	cCrashes := reg.Counter("runtime.faults.crashes")
+	crashExit := func(epoch, iter int, span *metrics.ActiveSpan) {
+		cCrashes.Inc()
+		reg.Emit(metrics.Event{Kind: metrics.KindFault, Epoch: epoch, Iter: iter, Node: me, Detail: "crash"})
+		span.End()
+	}
 
 	// Identical init everywhere: same seed, same stream.
 	model := spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
@@ -208,6 +236,7 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := reg.BeginSpan("epoch", "worker", me)
 		shard := shards[group]
 		// The iterator consumes the full configured global batch; the
 		// proportional split below spreads any remainder over members
@@ -217,8 +246,10 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 		for i := 0; i < iters; i++ {
 			tick(epoch, i)
 			if crashed(epoch, i) {
+				crashExit(epoch, i, epochSpan)
 				return nil // injected preemption: clean degraded exit
 			}
+			iterSpan := reg.BeginSpan("iter", "worker", me)
 			lv := cfg.live(members, epoch, i)
 			rank := rankOf(me, lv)
 			x, labels := it.Next()
@@ -242,15 +273,24 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 			}
 			// Intra-group SSGD: average gradients over the ring.
 			flat := flatten(model.Grads())
+			if len(lv) > 1 {
+				// Gradient payload entering group sync (4 bytes/float);
+				// the transport counters see the ring's chunked wire
+				// traffic, this sees the logical volume.
+				cGradBytes.Add(int64(4 * len(flat)))
+			}
 			if err := RingAllReduceAverage(node, lv, flat); err != nil {
 				return err
 			}
 			unflatten(flat, model.Grads())
 			opt.Step(model.Params())
+			cIters.Inc()
+			iterSpan.End()
 		}
 
 		tick(epoch, transport.IterEpochEnd)
 		if crashed(epoch, transport.IterEpochEnd) {
+			crashExit(epoch, transport.IterEpochEnd, epochSpan)
 			return nil
 		}
 		lv := cfg.live(members, epoch, transport.IterEpochEnd)
@@ -282,10 +322,14 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 				res.Final = model
 			}
 			resMu.Unlock()
+			// The distributed track has no simulated clock; epochs land
+			// on the wall clock only.
+			reg.ObserveEpoch(epoch, acc, 0)
 			if cfg.EpochEnd != nil {
 				cfg.EpochEnd(epoch, acc)
 			}
 		}
+		epochSpan.End()
 	}
 	return nil
 }

@@ -160,6 +160,7 @@ func Simulate(flows []*Flow) float64 {
 		}
 		now += dt
 	}
+	record(flows, makespan)
 	return makespan
 }
 

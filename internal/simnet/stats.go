@@ -1,0 +1,53 @@
+package simnet
+
+import "sync/atomic"
+
+// Package-level simulation counters, harvested by snapshot delta (the
+// same pattern as tensor's kernel counters): Simulate is called from
+// deep inside collective pricing, far from any run-scoped registry, so
+// the metrics layer snapshots before a run and publishes the delta
+// after it.
+var (
+	statFlows    atomic.Int64
+	statBytes    atomic.Int64
+	statSimNanos atomic.Int64
+)
+
+// Stats is a snapshot of the simulator counters.
+type Stats struct {
+	// Flows and Bytes total the simulated transfers.
+	Flows, Bytes int64
+	// SimSeconds accumulates every Simulate call's makespan — total
+	// simulated network latency (windows may overlap the simulated
+	// compute timeline; this is the network model's own clock).
+	SimSeconds float64
+}
+
+// SnapshotStats reads the current counter values.
+func SnapshotStats() Stats {
+	return Stats{
+		Flows:      statFlows.Load(),
+		Bytes:      statBytes.Load(),
+		SimSeconds: float64(statSimNanos.Load()) / 1e9,
+	}
+}
+
+// Delta returns s - since, the simulation activity between snapshots.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Flows:      s.Flows - since.Flows,
+		Bytes:      s.Bytes - since.Bytes,
+		SimSeconds: s.SimSeconds - since.SimSeconds,
+	}
+}
+
+// record charges one Simulate call to the counters.
+func record(flows []*Flow, makespan float64) {
+	statFlows.Add(int64(len(flows)))
+	var bytes float64
+	for _, f := range flows {
+		bytes += f.Bytes
+	}
+	statBytes.Add(int64(bytes))
+	statSimNanos.Add(int64(makespan * 1e9))
+}

@@ -34,6 +34,7 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := p.OutSize(h, w)
+	kstatIm2ColOps.Add(1)
 	cols := New(n*oh*ow, c*p.KH*p.KW)
 	// Each image owns rows [img*oh*ow, (img+1)*oh*ow) of the column
 	// matrix, so images unfold independently.

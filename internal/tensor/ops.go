@@ -182,6 +182,8 @@ func forRows(m, flops int, fn func(lo, hi int)) {
 // matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices,
 // parallelized across row blocks of the output.
 func matmulInto(dst, a, b []float32, m, k, n int) {
+	t0 := countGEMM(m, k, n)
+	defer gemmDone(t0)
 	forRows(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a[i*k : (i+1)*k]
@@ -211,6 +213,8 @@ func MatMulT1(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	out := New(m, n)
+	t0 := countGEMM(m, k, n)
+	defer gemmDone(t0)
 	forRows(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := out.Data[i*n : (i+1)*n]
@@ -238,6 +242,8 @@ func MatMulT2(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
 	out := New(m, n)
+	t0 := countGEMM(m, k, n)
+	defer gemmDone(t0)
 	forRows(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]

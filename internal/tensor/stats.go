@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Package-level kernel counters. They are process-global atomics, not
+// per-run state: the metrics layer harvests them by snapshot delta
+// (KernelSnapshot before a run, Delta after), which is exact for
+// sequential runs and attributes concurrent runs' kernels to whichever
+// run harvests last — acceptable for observability, free for the hot
+// path. Op and FLOP counts are always on; per-kernel timing costs two
+// clock reads per GEMM and is gated by EnableKernelTiming.
+var (
+	kstatGEMMOps    atomic.Int64
+	kstatGEMMFLOPs  atomic.Int64
+	kstatIm2ColOps  atomic.Int64
+	kstatGEMMNanos  atomic.Int64
+	kstatTimingGate atomic.Bool
+)
+
+// KernelStats is a snapshot of the kernel counters.
+type KernelStats struct {
+	// GEMMOps counts matrix-multiply kernel invocations (MatMul,
+	// MatMulT1, MatMulT2); GEMMFLOPs their total 2·m·k·n FLOPs.
+	GEMMOps, GEMMFLOPs int64
+	// Im2ColOps counts convolution lowerings.
+	Im2ColOps int64
+	// GEMMNanos is wall time inside GEMM kernels (0 unless
+	// EnableKernelTiming was on).
+	GEMMNanos int64
+}
+
+// KernelSnapshot reads the current counter values.
+func KernelSnapshot() KernelStats {
+	return KernelStats{
+		GEMMOps:   kstatGEMMOps.Load(),
+		GEMMFLOPs: kstatGEMMFLOPs.Load(),
+		Im2ColOps: kstatIm2ColOps.Load(),
+		GEMMNanos: kstatGEMMNanos.Load(),
+	}
+}
+
+// Delta returns s - since, the kernel work between two snapshots.
+func (s KernelStats) Delta(since KernelStats) KernelStats {
+	return KernelStats{
+		GEMMOps:   s.GEMMOps - since.GEMMOps,
+		GEMMFLOPs: s.GEMMFLOPs - since.GEMMFLOPs,
+		Im2ColOps: s.Im2ColOps - since.Im2ColOps,
+		GEMMNanos: s.GEMMNanos - since.GEMMNanos,
+	}
+}
+
+// EnableKernelTiming toggles GEMM wall-time measurement and returns
+// the previous setting.
+func EnableKernelTiming(on bool) (prev bool) {
+	return kstatTimingGate.Swap(on)
+}
+
+// countGEMM records one GEMM invocation and returns the timing anchor
+// (zero when timing is off).
+func countGEMM(m, k, n int) time.Time {
+	kstatGEMMOps.Add(1)
+	kstatGEMMFLOPs.Add(2 * int64(m) * int64(k) * int64(n))
+	if kstatTimingGate.Load() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// gemmDone closes the timing window opened by countGEMM.
+func gemmDone(t0 time.Time) {
+	if !t0.IsZero() {
+		kstatGEMMNanos.Add(int64(time.Since(t0)))
+	}
+}

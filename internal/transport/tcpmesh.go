@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"socflow/internal/metrics"
 )
 
 // Per-op deadline defaults. An op that makes no progress for the
@@ -33,8 +35,25 @@ type TCPMesh struct {
 	opTimeout time.Duration
 	opRetries int
 
+	// Reliability counters, installed by SetMetrics; nil-safe no-ops
+	// otherwise.
+	cRetries      *metrics.Counter
+	cDeadlineHits *metrics.Counter
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetMetrics installs reliability counters: transport.tcp.retries
+// counts retried Send/Recv attempts, transport.tcp.deadline.hits
+// counts per-attempt deadline expiries. Call before training traffic;
+// a nil registry leaves the no-op counters in place.
+func (m *TCPMesh) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.cRetries = reg.Counter("transport.tcp.retries")
+	m.cDeadlineHits = reg.Counter("transport.tcp.deadline.hits")
 }
 
 // NewTCPMesh builds an n-node mesh on 127.0.0.1. Each node listens on
@@ -261,6 +280,7 @@ func (nd *tcpNode) Send(to int, payload []byte) error {
 	var err error
 	for attempt := 0; attempt <= nd.mesh.opRetries; attempt++ {
 		if attempt > 0 {
+			nd.mesh.cRetries.Inc()
 			select {
 			case <-time.After(backoff):
 			case <-nd.mesh.done:
@@ -278,7 +298,11 @@ func (nd *tcpNode) Send(to int, payload []byte) error {
 		// Retry only a clean timeout with nothing on the wire; a partial
 		// frame (or any other failure) is fatal for the stream.
 		var ne net.Error
-		if !errors.As(err, &ne) || !ne.Timeout() || cw.n != 0 {
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			break
+		}
+		nd.mesh.cDeadlineHits.Inc()
+		if cw.n != 0 {
 			break
 		}
 	}
@@ -308,6 +332,10 @@ func (nd *tcpNode) Recv(from int) ([]byte, error) {
 			timer.Stop()
 			return nil, fmt.Errorf("%w while %d recvs from %d", ErrMeshClosed, nd.id, from)
 		case <-timer.C:
+			nd.mesh.cDeadlineHits.Inc()
+			if attempt < nd.mesh.opRetries {
+				nd.mesh.cRetries.Inc()
+			}
 			wait *= 2 // deadline backoff before the next bounded wait
 		}
 	}

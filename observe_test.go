@@ -1,0 +1,112 @@
+package socflow
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"socflow/internal/metrics"
+)
+
+// WithMetrics must fill Report.Metrics with the run's dual-clock
+// observations: per-epoch stats and spans, kernel counters, simulated
+// totals — and the snapshot must survive both exporters.
+func TestWithMetricsReport(t *testing.T) {
+	reg := metrics.New()
+	cfg := fastCfg("socflow")
+	cfg.Epochs = 2
+	rep, err := Run(context.Background(), cfg, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Metrics
+	if snap == nil {
+		t.Fatal("Report.Metrics is nil with WithMetrics set")
+	}
+	if len(snap.Epochs) != 2 {
+		t.Fatalf("epoch stats: %d, want 2", len(snap.Epochs))
+	}
+	for i, e := range snap.Epochs {
+		if e.Epoch != i || e.WallSeconds <= 0 || e.SimSeconds <= 0 {
+			t.Fatalf("epoch stat %d malformed: %+v", i, e)
+		}
+	}
+	if snap.Counters["train.epochs"] != 2 {
+		t.Fatalf("train.epochs = %d, want 2", snap.Counters["train.epochs"])
+	}
+	if snap.Counters["tensor.gemm.ops"] <= 0 {
+		t.Fatal("kernel harvest missing: no GEMM ops counted")
+	}
+	if snap.Gauges["sim.seconds.total"] != rep.SimSeconds {
+		t.Fatalf("sim.seconds.total %v != report SimSeconds %v",
+			snap.Gauges["sim.seconds.total"], rep.SimSeconds)
+	}
+	if snap.Gauges["sim.energy.total.joules"] <= 0 {
+		t.Fatal("energy meter not published")
+	}
+	// Both clocks must be represented in the span stream.
+	var wall, sim int
+	for _, s := range snap.Spans {
+		switch s.Clock {
+		case metrics.ClockWall:
+			wall++
+		case metrics.ClockSim:
+			sim++
+		}
+	}
+	if wall == 0 || sim == 0 {
+		t.Fatalf("span clocks: %d wall, %d sim — want both > 0", wall, sim)
+	}
+
+	var jsonBuf, traceBuf bytes.Buffer
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jsonBuf.Bytes()) {
+		t.Fatal("WriteJSON produced invalid JSON")
+	}
+	if err := snap.WriteChromeTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &ct); err != nil {
+		t.Fatalf("chrome trace not parseable: %v", err)
+	}
+	if len(ct.TraceEvents) < wall+sim {
+		t.Fatalf("chrome trace has %d events for %d spans", len(ct.TraceEvents), wall+sim)
+	}
+}
+
+// The distributed track must meter real wire traffic and stamp epochs
+// on the wall clock.
+func TestDistributedMetricsReport(t *testing.T) {
+	reg := metrics.New()
+	rep, err := RunDistributed(context.Background(), DistributedConfig{
+		JobSpec:   JobSpec{Epochs: 2, TrainSamples: 240, ValSamples: 60},
+		NumSoCs:   4,
+		Groups:    2,
+		InProcess: true,
+	}, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Metrics
+	if snap == nil {
+		t.Fatal("DistributedReport.Metrics is nil with WithMetrics set")
+	}
+	if len(snap.Epochs) != 2 {
+		t.Fatalf("epoch stats: %d, want 2", len(snap.Epochs))
+	}
+	if snap.Counters["transport.sent.bytes"] <= 0 || snap.Counters["transport.recv.bytes"] <= 0 {
+		t.Fatalf("transport counters empty: %+v", snap.Counters)
+	}
+	if snap.Counters["runtime.gradsync.bytes"] <= 0 {
+		t.Fatal("gradient-sync bytes not counted")
+	}
+	if snap.Counters["runtime.iterations"] <= 0 {
+		t.Fatal("iterations not counted")
+	}
+}

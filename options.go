@@ -5,19 +5,21 @@ import (
 	"io"
 	"log"
 
+	"socflow/internal/metrics"
 	"socflow/internal/parallel"
 )
 
 // Option tunes how a run executes without changing what it computes:
-// host parallelism, tracing, logging. Options never affect
-// EpochAccuracies or SimSeconds — see DESIGN.md's "host parallelism
-// vs. simulated concurrency".
+// host parallelism, tracing, logging, metrics collection. Options never
+// affect EpochAccuracies or SimSeconds — see DESIGN.md's "host
+// parallelism vs. simulated concurrency".
 type Option func(*runOptions)
 
 type runOptions struct {
 	parallelism int
 	trace       io.Writer
 	logger      *log.Logger
+	metrics     *metrics.Registry
 }
 
 // WithParallelism caps the worker pool at n OS threads for the
@@ -31,7 +33,8 @@ func WithParallelism(n int) Option {
 // WithTrace streams one line per functional epoch ("epoch 3 acc=0.724
 // sim=12.8s") to w. The write happens between epochs on the run's own
 // goroutine, so a w that cancels the run's context stops training
-// before the next epoch.
+// before the next epoch. The printer is a subscriber on the run's
+// metrics event stream; it shares one code path with WithMetrics.
 func WithTrace(w io.Writer) Option {
 	return func(o *runOptions) { o.trace = w }
 }
@@ -40,6 +43,16 @@ func WithTrace(w io.Writer) Option {
 // per-epoch summaries) to l.
 func WithLogger(l *log.Logger) Option {
 	return func(o *runOptions) { o.logger = l }
+}
+
+// WithMetrics directs the run's observability stream into reg: epoch
+// observations on both clocks, kernel and transport counters, simulated
+// latency/energy gauges, and wall/sim spans. The registry is
+// concurrency-safe and may be shared across runs (totals accumulate);
+// snapshot it via Report.Metrics or reg.Snapshot(). Metrics never
+// change training results.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *runOptions) { o.metrics = reg }
 }
 
 func gatherOptions(opts []Option) runOptions {
@@ -60,19 +73,38 @@ func (o *runOptions) apply() (restore func()) {
 	return func() {}
 }
 
-// epochHook builds the core EpochEnd callback for the trace writer and
-// logger, or returns nil when neither is set.
-func (o *runOptions) epochHook() func(epoch int, acc, simSeconds float64) {
-	if o.trace == nil && o.logger == nil {
-		return nil
+// registry returns the registry this run publishes into: the
+// user-supplied one, an ephemeral one when only the trace writer or
+// logger needs the event stream, or nil (instrumentation disabled at
+// zero cost — all metrics methods are no-ops on nil receivers).
+func (o *runOptions) registry() *metrics.Registry {
+	if o.metrics != nil {
+		return o.metrics
 	}
-	return func(epoch int, acc, simSeconds float64) {
+	if o.trace != nil || o.logger != nil {
+		return metrics.New()
+	}
+	return nil
+}
+
+// subscribe attaches the trace writer and logger as subscribers of the
+// registry's epoch events. Subscribers run synchronously on the
+// strategy goroutine between epochs, preserving WithTrace's contract
+// that a cancelling writer stops the run before the next epoch.
+func (o *runOptions) subscribe(reg *metrics.Registry) {
+	if reg == nil || (o.trace == nil && o.logger == nil) {
+		return
+	}
+	reg.Subscribe(func(e metrics.Event) {
+		if e.Kind != metrics.KindEpoch {
+			return
+		}
 		// Strategies count epochs from 0; reports are 1-based.
 		if o.trace != nil {
-			fmt.Fprintf(o.trace, "epoch %d acc=%.4f sim=%.1fs\n", epoch+1, acc, simSeconds)
+			fmt.Fprintf(o.trace, "epoch %d acc=%.4f sim=%.1fs\n", e.Epoch+1, e.Acc, e.SimSeconds)
 		}
 		if o.logger != nil {
-			o.logger.Printf("epoch %d: accuracy %.4f, simulated %.1fs", epoch+1, acc, simSeconds)
+			o.logger.Printf("epoch %d: accuracy %.4f, simulated %.1fs", e.Epoch+1, e.Acc, e.SimSeconds)
 		}
-	}
+	})
 }

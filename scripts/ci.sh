@@ -10,6 +10,9 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
-    ./internal/core ./internal/runtime ./internal/transport
+    ./internal/core ./internal/runtime ./internal/transport ./internal/metrics
 go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
     ./internal/runtime ./internal/transport
+# The metrics registry is written to from every worker goroutine at
+# once; run its whole suite under the race detector.
+go test -race -count 2 ./internal/metrics

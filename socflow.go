@@ -34,6 +34,7 @@ import (
 	"socflow/internal/cluster"
 	"socflow/internal/core"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 )
 
@@ -152,6 +153,11 @@ type Report struct {
 	EstimatedHoursToConverge float64
 	// Preemptions counts logical-group preemptions served.
 	Preemptions int
+	// Metrics is a snapshot of the run's observability registry —
+	// counters, gauges, histograms, dual-clock epoch stats, and spans —
+	// when WithMetrics, WithTrace, or WithLogger was used (nil
+	// otherwise). Export it with WriteJSON or WriteChromeTrace.
+	Metrics *metrics.RunReport
 }
 
 // Run executes one training run per the configuration. Cancelling ctx
@@ -167,7 +173,9 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	job.EpochEnd = o.epochHook()
+	reg := o.registry()
+	o.subscribe(reg)
+	job.Metrics = reg
 	strat, err := buildStrategy(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -175,11 +183,17 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
 	if o.logger != nil {
 		o.logger.Printf("run: %s on %s/%s, %d SoCs", strat.Name(), cfg.Model, cfg.Dataset, cfg.NumSoCs)
 	}
+	finish := core.BeginKernelHarvest(reg)
+	span := reg.BeginSpan("run", "facade", 0)
 	res, err := strat.Run(ctx, job, clu)
+	span.End()
+	finish()
 	if err != nil {
 		return nil, err
 	}
-	return reportFrom(cfg, job, res), nil
+	rep := reportFrom(cfg, job, res)
+	rep.Metrics = reg.Snapshot()
+	return rep, nil
 }
 
 // RunDefault is the old zero-option entry point.
