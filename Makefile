@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-report ci
+.PHONY: all build vet test race bench bench-compare bench-report ci
 
 all: ci
 
@@ -19,6 +19,13 @@ race:
 
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
+
+# Allocation-regression gate: reruns the hot-path benchmarks with
+# -benchmem, compares parallelism=1 allocs/op against the committed
+# baseline (scripts/bench_baseline.txt), fails on a >10% regression,
+# and emits BENCH_pr4.json.
+bench-compare:
+	./scripts/bench_compare.sh
 
 # Scalability experiment with the observability subsystem on: emits the
 # structured run report (tables + metrics snapshot) and a Perfetto-

@@ -198,7 +198,7 @@ func AverageInPlace(sets [][]*tensor.Tensor) {
 	k := len(sets[0])
 	inv := 1 / float32(len(sets))
 	for ti := 0; ti < k; ti++ {
-		acc := tensor.New(sets[0][ti].Shape...)
+		acc := tensor.Scratch.GetTensor(sets[0][ti].Shape...)
 		for _, set := range sets {
 			if len(set) != k {
 				panic("collective: ragged tensor sets")
@@ -209,6 +209,7 @@ func AverageInPlace(sets [][]*tensor.Tensor) {
 		for _, set := range sets {
 			set[ti].CopyFrom(acc)
 		}
+		tensor.Scratch.ReleaseTensor(acc)
 	}
 }
 
@@ -234,13 +235,14 @@ func WeightedAverageInPlace(sets [][]*tensor.Tensor, weights []float64) {
 	}
 	k := len(sets[0])
 	for ti := 0; ti < k; ti++ {
-		acc := tensor.New(sets[0][ti].Shape...)
+		acc := tensor.Scratch.GetTensor(sets[0][ti].Shape...)
 		for wi, set := range sets {
 			tensor.Axpy(float32(weights[wi]/total), set[ti], acc)
 		}
 		for _, set := range sets {
 			set[ti].CopyFrom(acc)
 		}
+		tensor.Scratch.ReleaseTensor(acc)
 	}
 }
 

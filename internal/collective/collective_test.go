@@ -179,8 +179,7 @@ func TestAverageMatchesSerialProperty(t *testing.T) {
 func TestTopKCompressorKeepsLargest(t *testing.T) {
 	c := NewTopKCompressor(0.25)
 	g := tensor.FromSlice([]float32{0.1, -5, 0.2, 3, 0.05, 0.01, 0.02, 0.03}, 8)
-	key := tensor.New(8)
-	sg := c.Compress(key, g)
+	sg := c.Compress(0, g)
 	if len(sg.Values) != 2 {
 		t.Fatalf("kept %d entries, want 2", len(sg.Values))
 	}
@@ -194,21 +193,20 @@ func TestTopKErrorFeedbackPreservesSignal(t *testing.T) {
 	// Entries not shipped now must be shipped later: after enough
 	// rounds with zero new gradient, the residual drains to zero.
 	c := NewTopKCompressor(0.25)
-	key := tensor.New(8)
 	g := tensor.FromSlice([]float32{8, 7, 6, 5, 4, 3, 2, 1}, 8)
 	total := tensor.New(8)
-	tensor.AddInPlace(total, c.Compress(key, g).Dense())
+	tensor.AddInPlace(total, c.Compress(0, g).Dense())
 	zero := tensor.New(8)
 	for i := 0; i < 3; i++ {
-		tensor.AddInPlace(total, c.Compress(key, zero).Dense())
+		tensor.AddInPlace(total, c.Compress(0, zero).Dense())
 	}
 	for i := range g.Data {
 		if math.Abs(float64(total.Data[i]-g.Data[i])) > 1e-6 {
 			t.Fatalf("error feedback lost signal at %d: %v vs %v", i, total.Data[i], g.Data[i])
 		}
 	}
-	if c.ResidualNorm(key) > 1e-6 {
-		t.Fatalf("residual should be drained, norm = %v", c.ResidualNorm(key))
+	if c.ResidualNorm(0) > 1e-6 {
+		t.Fatalf("residual should be drained, norm = %v", c.ResidualNorm(0))
 	}
 }
 

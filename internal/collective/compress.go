@@ -1,14 +1,13 @@
 package collective
 
 import (
-	"sort"
-
 	"socflow/internal/tensor"
 )
 
 // SparseGrad is a top-k sparsified gradient: the k largest-magnitude
 // entries with their flat indices, as produced by Deep Gradient
-// Compression (Lin et al., the algorithm HiPress plugs in).
+// Compression (Lin et al., the algorithm HiPress plugs in). Indices are
+// strictly ascending.
 type SparseGrad struct {
 	Shape   []int
 	Indices []int32
@@ -21,22 +20,40 @@ func (s *SparseGrad) Bytes() int { return 8 * len(s.Values) }
 // Dense reconstitutes the sparse gradient as a dense tensor.
 func (s *SparseGrad) Dense() *tensor.Tensor {
 	t := tensor.New(s.Shape...)
-	for i, idx := range s.Indices {
-		t.Data[idx] = s.Values[i]
-	}
+	s.DenseInto(t)
 	return t
+}
+
+// DenseInto writes the dense reconstruction into dst, zeroing it first.
+// dst must have the sparse gradient's element count.
+func (s *SparseGrad) DenseInto(dst *tensor.Tensor) {
+	dst.Zero()
+	for i, idx := range s.Indices {
+		dst.Data[idx] = s.Values[i]
+	}
 }
 
 // TopKCompressor implements DGC-style top-k sparsification with local
 // error feedback: entries not transmitted remain in a residual that is
 // added to the next gradient, so nothing is permanently lost — only
 // delayed. HiPress builds its compression-aware sync on this primitive.
+//
+// Residuals are keyed by a caller-chosen slot id (typically the
+// parameter index within the model), not by gradient tensor identity:
+// callers that rebuild gradient tensors between iterations would
+// otherwise grow the residual map without bound and silently lose the
+// error feedback attached to the dropped keys.
 type TopKCompressor struct {
 	// Ratio is the fraction of entries kept (DGC uses 0.1%-1%; the
 	// HiPress baseline here uses 0.01 by default).
 	Ratio float64
 
-	residual map[*tensor.Tensor]*tensor.Tensor
+	residual map[int]*tensor.Tensor
+	// out holds the per-slot reusable output; mags is quickselect
+	// scratch. Both persist across calls so steady-state compression
+	// does not allocate.
+	out  map[int]*SparseGrad
+	mags []float32
 }
 
 // NewTopKCompressor creates a compressor keeping the given fraction.
@@ -44,60 +61,173 @@ func NewTopKCompressor(ratio float64) *TopKCompressor {
 	if ratio <= 0 || ratio > 1 {
 		panic("collective: compression ratio out of (0,1]")
 	}
-	return &TopKCompressor{Ratio: ratio, residual: make(map[*tensor.Tensor]*tensor.Tensor)}
+	return &TopKCompressor{
+		Ratio:    ratio,
+		residual: make(map[int]*tensor.Tensor),
+		out:      make(map[int]*SparseGrad),
+	}
 }
 
 // Compress adds the stored residual for this gradient slot, extracts
 // the top-k entries by magnitude, retains the rest as the new residual,
-// and returns the sparse gradient. The key identifies the gradient slot
-// across iterations (use the parameter's gradient tensor).
-func (c *TopKCompressor) Compress(key, g *tensor.Tensor) *SparseGrad {
-	res, ok := c.residual[key]
+// and returns the sparse gradient. slot identifies the gradient across
+// iterations (use the parameter's index in the model). The returned
+// SparseGrad is reused by the next Compress call for the same slot;
+// callers that need it longer must copy it.
+//
+// Selection is deterministic: the threshold is the k-th largest
+// magnitude (found by quickselect, O(n) expected instead of the
+// O(n log n) full sort), entries strictly above it are all kept, and
+// ties exactly at the threshold fill the remaining quota in ascending
+// index order.
+func (c *TopKCompressor) Compress(slot int, g *tensor.Tensor) *SparseGrad {
+	res, ok := c.residual[slot]
 	if !ok {
 		res = tensor.New(g.Shape...)
-		c.residual[key] = res
+		c.residual[slot] = res
 	}
 	tensor.AddInPlace(res, g) // accumulate: residual now holds full signal
 
-	k := int(c.Ratio * float64(res.Size()))
+	n := res.Size()
+	k := int(c.Ratio * float64(n))
 	if k < 1 {
 		k = 1
 	}
-	if k > res.Size() {
-		k = res.Size()
+	if k > n {
+		k = n
 	}
-	idx := make([]int, res.Size())
-	for i := range idx {
-		idx[i] = i
+
+	if cap(c.mags) < n {
+		c.mags = make([]float32, n)
 	}
-	// Select the k largest |value| indices.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := res.Data[idx[a]], res.Data[idx[b]]
-		if va < 0 {
-			va = -va
+	m := c.mags[:n]
+	for i, v := range res.Data {
+		if v < 0 {
+			v = -v
 		}
-		if vb < 0 {
-			vb = -vb
+		m[i] = v
+	}
+	thr := quickselectKthLargest(m, k)
+
+	sg, ok := c.out[slot]
+	if !ok {
+		sg = &SparseGrad{}
+		c.out[slot] = sg
+	}
+	sg.Shape = append(sg.Shape[:0], res.Shape...)
+	sg.Indices = sg.Indices[:0]
+	sg.Values = sg.Values[:0]
+
+	// Keep everything strictly above the threshold, then fill the
+	// remaining quota with threshold ties in ascending index order.
+	for i, v := range res.Data {
+		a := v
+		if a < 0 {
+			a = -a
 		}
-		return va > vb
-	})
-	sg := &SparseGrad{Shape: append([]int(nil), res.Shape...)}
-	for _, i := range idx[:k] {
-		sg.Indices = append(sg.Indices, int32(i))
-		sg.Values = append(sg.Values, res.Data[i])
-		res.Data[i] = 0 // transmitted: clear from residual
+		if a > thr {
+			sg.Indices = append(sg.Indices, int32(i))
+			sg.Values = append(sg.Values, v)
+		}
+	}
+	if rem := k - len(sg.Values); rem > 0 {
+		for i, v := range res.Data {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a == thr {
+				sg.Indices = append(sg.Indices, int32(i))
+				sg.Values = append(sg.Values, v)
+				rem--
+				if rem == 0 {
+					break
+				}
+			}
+		}
+	}
+	// Restore ascending index order (ties were appended after the
+	// strictly-greater entries) and clear transmitted entries from the
+	// residual.
+	insertionSortSparse(sg)
+	for _, i := range sg.Indices {
+		res.Data[i] = 0
 	}
 	return sg
 }
 
+// insertionSortSparse sorts (Indices, Values) pairs by index. The list
+// is a merge of two already-ascending runs, so insertion sort is close
+// to O(n) here and allocates nothing.
+func insertionSortSparse(sg *SparseGrad) {
+	for i := 1; i < len(sg.Indices); i++ {
+		idx, val := sg.Indices[i], sg.Values[i]
+		j := i - 1
+		for j >= 0 && sg.Indices[j] > idx {
+			sg.Indices[j+1] = sg.Indices[j]
+			sg.Values[j+1] = sg.Values[j]
+			j--
+		}
+		sg.Indices[j+1] = idx
+		sg.Values[j+1] = val
+	}
+}
+
+// quickselectKthLargest returns the k-th largest element (1-based) of a,
+// reordering a in the process. Deterministic middle-element pivot: no
+// randomness, so repeated runs select identically.
+func quickselectKthLargest(a []float32, k int) float32 {
+	lo, hi := 0, len(a)-1
+	target := k - 1
+	for lo < hi {
+		p := partitionDesc(a, lo, hi)
+		switch {
+		case p == target:
+			return a[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return a[lo]
+}
+
+// partitionDesc partitions a[lo:hi+1] descending around the middle
+// element and returns the pivot's final position.
+func partitionDesc(a []float32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	a[mid], a[hi] = a[hi], a[mid]
+	pivot := a[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if a[j] > pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
+}
+
 // ResidualNorm returns the L2 norm of the stored residual for a slot
 // (0 if none), an observability hook used in tests and metrics.
-func (c *TopKCompressor) ResidualNorm(key *tensor.Tensor) float32 {
-	if res, ok := c.residual[key]; ok {
+func (c *TopKCompressor) ResidualNorm(slot int) float32 {
+	if res, ok := c.residual[slot]; ok {
 		return res.L2Norm()
 	}
 	return 0
 }
+
+// Residual returns the stored residual tensor for a slot (nil if none).
+// Tests use it to assert exact error-feedback conservation.
+func (c *TopKCompressor) Residual(slot int) *tensor.Tensor {
+	return c.residual[slot]
+}
+
+// Slots returns the number of tracked residual slots; with slot-id
+// keying this is bounded by the model's parameter count.
+func (c *TopKCompressor) Slots() int { return len(c.residual) }
 
 // CompressedBytes returns the total wire size of one worker's gradient
 // exchange under this compressor for a model with the given parameter

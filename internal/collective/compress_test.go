@@ -1,0 +1,152 @@
+package collective
+
+import (
+	"sort"
+	"testing"
+
+	"socflow/internal/tensor"
+)
+
+// TestTopKErrorFeedbackConservesSignalExactly is the error-feedback
+// invariant stated as an exact identity: transmitted entries plus the
+// remaining residual partition the accumulated signal bit-for-bit.
+// Compress only moves float32 values between the residual and the wire
+// (AddInPlace on entry, then entries are either shipped verbatim and
+// zeroed or left untouched), so a mirror running the same additions
+// must agree with no tolerance: every shipped value equals the mirror's
+// accumulated value exactly, and after removing shipped entries the
+// mirror equals the residual exactly.
+func TestTopKErrorFeedbackConservesSignalExactly(t *testing.T) {
+	c := NewTopKCompressor(0.25)
+	rng := tensor.NewRNG(11)
+	n := 64
+	mirror := tensor.New(n)
+	g := tensor.New(n)
+	for round := 0; round < 20; round++ {
+		fillNormal(g, rng)
+		tensor.AddInPlace(mirror, g)
+		sg := c.Compress(0, g)
+		for i, idx := range sg.Indices {
+			if sg.Values[i] != mirror.Data[idx] {
+				t.Fatalf("round %d: shipped %v for elem %d, accumulated signal is %v",
+					round, sg.Values[i], idx, mirror.Data[idx])
+			}
+			mirror.Data[idx] = 0
+		}
+		res := c.Residual(0)
+		for i := 0; i < n; i++ {
+			if res.Data[i] != mirror.Data[i] {
+				t.Fatalf("round %d, elem %d: residual %v, want %v — signal lost or altered",
+					round, i, res.Data[i], mirror.Data[i])
+			}
+		}
+	}
+}
+
+// TestTopKSlotKeyingBoundsResidualMap pins the fix for the unbounded
+// residual map: a caller that rebuilds its gradient tensors every
+// iteration (as the sync runner used to, via Clone) must still converge
+// to one residual per parameter slot.
+func TestTopKSlotKeyingBoundsResidualMap(t *testing.T) {
+	c := NewTopKCompressor(0.5)
+	rng := tensor.NewRNG(5)
+	const slots = 3
+	for iter := 0; iter < 50; iter++ {
+		for s := 0; s < slots; s++ {
+			g := tensor.New(16) // fresh tensor every iteration
+			fillNormal(g, rng)
+			c.Compress(s, g)
+		}
+	}
+	if got := c.Slots(); got != slots {
+		t.Fatalf("residual map has %d entries after 50 iters, want %d", got, slots)
+	}
+}
+
+// TestTopKSelectionMatchesFullSort cross-checks quickselect against a
+// reference full sort on random inputs: same k, and the selected set
+// must consist of everything strictly above the k-th magnitude plus
+// lowest-index ties at it.
+func TestTopKSelectionMatchesFullSort(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + int(rng.Float64()*100)
+		g := tensor.New(n)
+		fillNormal(g, rng)
+		// Duplicate some magnitudes to force ties at the threshold.
+		if n > 4 {
+			g.Data[1] = -g.Data[0]
+			g.Data[3] = g.Data[2]
+		}
+		c := NewTopKCompressor(0.1)
+		sg := c.Compress(0, g)
+
+		k := int(0.1 * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		mags := make([]float32, n)
+		for i, v := range g.Data {
+			if v < 0 {
+				v = -v
+			}
+			mags[i] = v
+		}
+		ref := append([]float32(nil), mags...)
+		sort.Slice(ref, func(a, b int) bool { return ref[a] > ref[b] })
+		thr := ref[k-1]
+
+		if len(sg.Values) != k {
+			t.Fatalf("trial %d: kept %d, want %d", trial, len(sg.Values), k)
+		}
+		kept := make(map[int32]bool, k)
+		var prev int32 = -1
+		for _, idx := range sg.Indices {
+			if idx <= prev {
+				t.Fatalf("trial %d: indices not strictly ascending: %v", trial, sg.Indices)
+			}
+			prev = idx
+			kept[idx] = true
+		}
+		ties := 0
+		for i := 0; i < n; i++ {
+			switch {
+			case mags[i] > thr && !kept[int32(i)]:
+				t.Fatalf("trial %d: entry %d (|%v| > thr %v) dropped", trial, i, g.Data[i], thr)
+			case mags[i] < thr && kept[int32(i)]:
+				t.Fatalf("trial %d: entry %d (|%v| < thr %v) kept", trial, i, g.Data[i], thr)
+			case mags[i] == thr && kept[int32(i)]:
+				ties++
+				// Ties must be the lowest-index ones: every unkept tie
+				// below this index would violate determinism.
+				for j := 0; j < i; j++ {
+					if mags[j] == thr && !kept[int32(j)] {
+						t.Fatalf("trial %d: tie at %d kept but earlier tie at %d dropped", trial, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparseGradDenseInto checks the in-place reconstruction: dst is
+// fully overwritten (stale contents cleared) and matches Dense.
+func TestSparseGradDenseInto(t *testing.T) {
+	sg := &SparseGrad{Shape: []int{6}, Indices: []int32{1, 4}, Values: []float32{2.5, -3}}
+	dst := tensor.New(6)
+	dst.Fill(9)
+	sg.DenseInto(dst)
+	want := sg.Dense()
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("DenseInto mismatch at %d: %v vs %v", i, dst.Data, want.Data)
+		}
+	}
+}
+
+// fillNormal overwrites t with standard-normal samples.
+func fillNormal(t *tensor.Tensor, rng *tensor.RNG) {
+	for i := range t.Data {
+		t.Data[i] = rng.Normal()
+	}
+}

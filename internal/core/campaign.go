@@ -31,7 +31,13 @@ func (s *CheckpointStore) path(epoch int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("epoch-%06d.ckpt", epoch))
 }
 
-// Save writes the checkpoint atomically.
+// Save writes the checkpoint atomically and durably: the temp file is
+// fsynced before the rename, and the directory is fsynced after it.
+// Without the file sync, a power cut after rename can leave the final
+// name pointing at unwritten pages (a zero-length or torn checkpoint —
+// worse than no checkpoint, because it shadows the previous good
+// epoch); without the directory sync, the rename itself may not
+// survive the crash.
 func (s *CheckpointStore) Save(cp *Checkpoint) error {
 	tmp, err := os.CreateTemp(s.dir, "ckpt-*")
 	if err != nil {
@@ -42,10 +48,27 @@ func (s *CheckpointStore) Save(cp *Checkpoint) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), s.path(cp.Epoch))
+	if err := os.Rename(tmp.Name(), s.path(cp.Epoch)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Latest loads the highest-epoch checkpoint, or (nil, nil) when the

@@ -29,27 +29,69 @@ const (
 //	nWeights u32 | tensors... | nState u32 | tensors...
 //
 // where each tensor is: rank u32 | dims u32... | data f32...
+//
+// It implements io.WriterTo: the returned count is the total number of
+// bytes written (across however many Write calls the destination took),
+// and every encoding or write error is propagated — a short write to a
+// full disk must surface here, not as a truncated file that only fails
+// at restore time.
 func (cp *Checkpoint) WriteTo(w io.Writer) (int64, error) {
-	var buf bytes.Buffer
-	hdr := []uint32{checkpointMagic, checkpointVersion}
-	for _, v := range hdr {
-		binary.Write(&buf, binary.LittleEndian, v)
+	cw := &countWriter{w: w}
+	write := func(v any) error {
+		return binary.Write(cw, binary.LittleEndian, v)
 	}
-	binary.Write(&buf, binary.LittleEndian, int64(cp.Epoch))
-	writeSet := func(set []*tensor.Tensor) {
-		binary.Write(&buf, binary.LittleEndian, uint32(len(set)))
-		for _, t := range set {
-			binary.Write(&buf, binary.LittleEndian, uint32(len(t.Shape)))
-			for _, d := range t.Shape {
-				binary.Write(&buf, binary.LittleEndian, uint32(d))
-			}
-			binary.Write(&buf, binary.LittleEndian, t.Data)
+	if err := write(uint32(checkpointMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(checkpointVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := write(int64(cp.Epoch)); err != nil {
+		return cw.n, err
+	}
+	writeSet := func(set []*tensor.Tensor) error {
+		if err := write(uint32(len(set))); err != nil {
+			return err
 		}
+		for _, t := range set {
+			if err := write(uint32(len(t.Shape))); err != nil {
+				return err
+			}
+			for _, d := range t.Shape {
+				if err := write(uint32(d)); err != nil {
+					return err
+				}
+			}
+			if err := write(t.Data); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	writeSet(cp.Weights)
-	writeSet(cp.State)
-	n, err := w.Write(buf.Bytes())
-	return int64(n), err
+	if err := writeSet(cp.Weights); err != nil {
+		return cw.n, err
+	}
+	if err := writeSet(cp.State); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// countWriter tracks the total bytes written through it, so WriteTo can
+// report a true count even when the payload goes out in many small
+// binary.Write calls.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
 }
 
 // ReadCheckpoint deserializes a checkpoint written by WriteTo.

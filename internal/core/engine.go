@@ -215,16 +215,22 @@ type Strategy interface {
 func evalAccuracy(model *nn.Sequential, val *dataset.Dataset) float64 {
 	const bs = 64
 	correct, total := 0, 0
+	var idx []int
+	var x *tensor.Tensor
+	var labels []int
 	for lo := 0; lo < val.Len(); lo += bs {
 		hi := lo + bs
 		if hi > val.Len() {
 			hi = val.Len()
 		}
-		idx := make([]int, hi-lo)
+		if cap(idx) < hi-lo {
+			idx = make([]int, hi-lo)
+		}
+		idx = idx[:hi-lo]
 		for i := range idx {
 			idx[i] = lo + i
 		}
-		x, labels := val.Batch(idx)
+		x, labels = val.BatchInto(x, labels, idx)
 		logits := model.Forward(x, false)
 		preds := tensor.ArgmaxRows(logits)
 		for i, p := range preds {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"socflow/internal/dataset"
+	"socflow/internal/nn"
+	"socflow/internal/parallel"
+)
+
+// goldenRun trains a small fixed job and returns the exact per-epoch
+// accuracies plus a weight checksum (float64 sum and a bitwise XOR of
+// every float32 weight). The XOR makes the check sensitive to any
+// single-ULP drift in any parameter.
+func goldenRun(t *testing.T, model, ds string, mixed MixedMode, p int) (acc [2]float64, wsum float64, wxor uint32) {
+	t.Helper()
+	prev := parallel.Set(p)
+	defer parallel.Set(prev)
+	prof := dataset.MustProfile(ds)
+	full := prof.Generate(dataset.GenOptions{Samples: 540, Seed: 7})
+	train, val := full.Split(480.0 / 540.0)
+	job := &Job{
+		Spec:         nn.MustSpec(model),
+		Train:        train,
+		Val:          val,
+		PaperSamples: prof.PaperTrainN,
+		GlobalBatch:  16,
+		LR:           0.02,
+		Momentum:     0.9,
+		Epochs:       2,
+		Seed:         42,
+	}
+	s := &SoCFlow{NumGroups: 4, Mixed: mixed}
+	res, err := s.Run(context.Background(), job, clu32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.FinalWeights {
+		for _, v := range w.Data {
+			wsum += float64(v)
+			wxor ^= math.Float32bits(v)
+		}
+	}
+	return [2]float64{res.EpochAccuracies[0], res.EpochAccuracies[1]}, wsum, wxor
+}
+
+// TestGoldenLossesBitIdentical pins the numerical output of the whole
+// functional track: two epochs of lenet5/fmnist (mixed precision) and
+// vgg11/cifar10 (fp32), at host parallelism 1 and 8, must reproduce
+// the recorded accuracies and weight checksums exactly. This is the
+// guard that lets the allocation work (arenas, *Into kernels, buffer
+// reuse) claim bit-identity rather than mere closeness: any reordering
+// of a floating-point reduction flips wxor.
+func TestGoldenLossesBitIdentical(t *testing.T) {
+	cases := []struct {
+		model, ds string
+		mixed     MixedMode
+		acc0      string // exact hex float64s
+		acc1      string
+		wsum      string
+		wxor      uint32
+	}{
+		{"lenet5", "fmnist", MixedAuto,
+			"0x1.3333333333333p-03", "0x1.3333333333333p-02", "-0x1.42ffa12c8p+03", 0x824a25f1},
+		{"vgg11", "cifar10", MixedOff,
+			"0x1.bbbbbbbbbbbbcp-03", "0x1.5555555555555p-02", "-0x1.5acf5e32158p+06", 0xb4b1c2f1},
+	}
+	for _, p := range []int{1, 8} {
+		for _, c := range cases {
+			c := c
+			t.Run(fmt.Sprintf("%s_p%d", c.model, p), func(t *testing.T) {
+				acc, wsum, wxor := goldenRun(t, c.model, c.ds, c.mixed, p)
+				if got := fmt.Sprintf("%x", acc[0]); got != c.acc0 {
+					t.Errorf("epoch-0 accuracy %s, want %s", got, c.acc0)
+				}
+				if got := fmt.Sprintf("%x", acc[1]); got != c.acc1 {
+					t.Errorf("epoch-1 accuracy %s, want %s", got, c.acc1)
+				}
+				if got := fmt.Sprintf("%x", wsum); got != c.wsum {
+					t.Errorf("weight sum %s, want %s", got, c.wsum)
+				}
+				if wxor != c.wxor {
+					t.Errorf("weight xor %08x, want %08x — single-ULP drift somewhere in the stack", wxor, c.wxor)
+				}
+			})
+		}
+	}
+}

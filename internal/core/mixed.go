@@ -34,6 +34,20 @@ type MixedPrecision struct {
 	// (ablation variants Ours-INT8 with 0 and Ours-Half with 0.5);
 	// the default -1 keeps the controller active.
 	ForceCPUShare float64
+
+	// qbufs holds the persistent fake-quantized activation buffers of
+	// quantForward, one per quantization point, reused every step. They
+	// must be distinct from the layers' own output buffers: downstream
+	// layers cache them as inputs for the backward pass.
+	qbufs []*tensor.Tensor
+
+	// Per-step scratch, reused across steps: the two batch-split views,
+	// the loss-gradient buffer, and the α-probe batch.
+	cpuView, npuView *tensor.Tensor
+	gradScr          *tensor.Tensor
+	probeIdx         []int
+	probeX           *tensor.Tensor
+	probeLabels      []int
 }
 
 // NewMixedPrecision clones the reference model into the two replicas.
@@ -111,20 +125,22 @@ func (mp *MixedPrecision) Step(x *tensor.Tensor, labels []int) float32 {
 
 	var loss float64
 	if cpuN > 0 {
-		xb := tensor.Rows(x, 0, cpuN)
+		mp.cpuView = tensor.RowsInto(mp.cpuView, x, 0, cpuN)
 		mp.FP32.ZeroGrad()
-		logits := mp.FP32.Forward(xb, true)
-		l, g := nn.SoftmaxCrossEntropy(logits, labels[:cpuN])
-		mp.FP32.Backward(g)
+		logits := mp.FP32.Forward(mp.cpuView, true)
+		mp.gradScr = tensor.Ensure(mp.gradScr, logits.Shape...)
+		l := nn.SoftmaxCrossEntropyInto(mp.gradScr, logits, labels[:cpuN])
+		mp.FP32.Backward(mp.gradScr)
 		mp.cpuOpt.Step(mp.FP32.Params())
 		loss += float64(l) * float64(cpuN)
 	}
 	if npuN > 0 {
-		xb := tensor.Rows(x, cpuN, n)
+		mp.npuView = tensor.RowsInto(mp.npuView, x, cpuN, n)
 		mp.INT8.ZeroGrad()
-		logits := quantForward(mp.INT8, xb, true)
-		l, g := nn.SoftmaxCrossEntropy(logits, labels[cpuN:])
-		mp.INT8.Backward(g)
+		logits := mp.quantForward(mp.npuView, true)
+		mp.gradScr = tensor.Ensure(mp.gradScr, logits.Shape...)
+		l := nn.SoftmaxCrossEntropyInto(mp.gradScr, logits, labels[cpuN:])
+		mp.INT8.Backward(mp.gradScr)
 		// Conv/dense weights take the integer update; batch-norm
 		// scales and biases stay in higher precision on the NPU, as
 		// NITI-style integer training keeps them (quantizing BN
@@ -214,16 +230,21 @@ func (mp *MixedPrecision) UpdateAlpha(probe *dataset.Dataset, batch int) {
 	if batch > probe.Len() {
 		batch = probe.Len()
 	}
-	idx := make([]int, batch)
-	for i := range idx {
-		idx[i] = i
+	if cap(mp.probeIdx) < batch {
+		mp.probeIdx = make([]int, batch)
 	}
-	x, labels := probe.Batch(idx)
+	mp.probeIdx = mp.probeIdx[:batch]
+	for i := range mp.probeIdx {
+		mp.probeIdx[i] = i
+	}
+	x, labels := probe.BatchInto(mp.probeX, mp.probeLabels, mp.probeIdx)
+	mp.probeX, mp.probeLabels = x, labels
 
 	fpLogits := mp.FP32.Forward(x, false)
-	i8Logits := quantForward(mp.INT8, x, false)
-	fpLoss, _ := nn.SoftmaxCrossEntropy(fpLogits, labels)
-	i8Loss, _ := nn.SoftmaxCrossEntropy(i8Logits, labels)
+	i8Logits := mp.quantForward(x, false)
+	mp.gradScr = tensor.Ensure(mp.gradScr, fpLogits.Shape...)
+	fpLoss := nn.SoftmaxCrossEntropyInto(mp.gradScr, fpLogits, labels)
+	i8Loss := nn.SoftmaxCrossEntropyInto(mp.gradScr, i8Logits, labels)
 
 	logitCos := float64(quant.LogitConfidence(fpLogits, i8Logits))
 	ratio := 1.0
@@ -266,13 +287,26 @@ func (mp *MixedPrecision) SetLR(lr float32) {
 // exponentially"). Gradients pass straight through the rounding
 // (straight-through estimator), matching integer-training practice.
 // The final logits stay unquantized (NPUs dequantize the head output).
-func quantForward(model *nn.Sequential, x *tensor.Tensor, train bool) *tensor.Tensor {
-	x = quant.FakeQuantize(x)
+func (mp *MixedPrecision) quantForward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	model := mp.INT8
+	x = mp.fakeQuant(0, x)
 	for i, l := range model.Layers {
 		x = l.Forward(x, train)
 		if i < len(model.Layers)-1 {
-			x = quant.FakeQuantize(x)
+			x = mp.fakeQuant(i+1, x)
 		}
 	}
 	return x
+}
+
+// fakeQuant rounds x onto its INT8 grid into the persistent buffer for
+// quantization point i, never modifying x (layers cache their own
+// outputs for backward).
+func (mp *MixedPrecision) fakeQuant(i int, x *tensor.Tensor) *tensor.Tensor {
+	for len(mp.qbufs) <= i {
+		mp.qbufs = append(mp.qbufs, nil)
+	}
+	mp.qbufs[i] = tensor.Ensure(mp.qbufs[i], x.Shape...)
+	quant.FakeQuantizeInto(mp.qbufs[i], x)
+	return mp.qbufs[i]
 }

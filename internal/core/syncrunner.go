@@ -91,9 +91,9 @@ func (s *SyncSGD) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 			_, g := nn.SoftmaxCrossEntropy(logits, labels)
 			model.Backward(g)
 			if s.Compressor != nil {
-				for _, p := range model.Params() {
-					sg := s.Compressor.Compress(p.Grad, p.Grad.Clone())
-					p.Grad.CopyFrom(sg.Dense())
+				for pi, p := range model.Params() {
+					sg := s.Compressor.Compress(pi, p.Grad)
+					sg.DenseInto(p.Grad)
 				}
 			}
 			opt.Step(model.Params())

@@ -49,9 +49,21 @@ func (d *Dataset) ImageSize() int { return d.X.Shape[2] }
 // Batch returns views (shared storage) of samples idx as a batch
 // tensor plus labels.
 func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	return d.BatchInto(nil, nil, idx)
+}
+
+// BatchInto gathers the samples named by idx into x and labels, reusing
+// their storage when capacity allows (pass nil to allocate). It returns
+// the possibly-regrown buffers; the contents are fully overwritten, so
+// a caller that consumes each batch before requesting the next can loop
+// with zero steady-state allocations.
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, idx []int) (*tensor.Tensor, []int) {
 	c, h, w := d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]
-	x := tensor.New(len(idx), c, h, w)
-	labels := make([]int, len(idx))
+	x = tensor.Ensure(x, len(idx), c, h, w)
+	if cap(labels) < len(idx) {
+		labels = make([]int, len(idx))
+	}
+	labels = labels[:len(idx)]
 	stride := c * h * w
 	for i, j := range idx {
 		copy(x.Data[i*stride:(i+1)*stride], d.X.Data[j*stride:(j+1)*stride])
@@ -172,6 +184,10 @@ type BatchIterator struct {
 	perm  []int
 	pos   int
 	epoch int
+
+	// Persistent batch buffers, overwritten by each Next call.
+	x      *tensor.Tensor
+	labels []int
 }
 
 // NewBatchIterator creates an iterator with the given batch size.
@@ -186,7 +202,10 @@ func NewBatchIterator(d *Dataset, batchSize int, seed uint64) *BatchIterator {
 
 // Next returns the next mini-batch, wrapping to a new shuffled epoch
 // when the data is exhausted. The final batch of an epoch may be
-// smaller than the batch size.
+// smaller than the batch size. The returned tensors are the iterator's
+// persistent buffers: each call overwrites the previous batch, so
+// callers must finish with a batch before requesting the next one —
+// the contract every training loop in this repository already follows.
 func (it *BatchIterator) Next() (*tensor.Tensor, []int) {
 	if it.pos >= len(it.perm) {
 		it.epoch++
@@ -199,7 +218,8 @@ func (it *BatchIterator) Next() (*tensor.Tensor, []int) {
 	}
 	idx := it.perm[it.pos:hi]
 	it.pos = hi
-	return it.d.Batch(idx)
+	it.x, it.labels = it.d.BatchInto(it.x, it.labels, idx)
+	return it.x, it.labels
 }
 
 // BatchesPerEpoch returns the number of Next calls per epoch.

@@ -19,9 +19,18 @@ func forElems(n int, fn func(lo, hi int)) {
 	parallel.For(n, fn)
 }
 
+// serialElems reports whether an elementwise pass over n values should
+// run sequentially. Hot layers branch on this and call a named range
+// function directly so the parallel closure — which escapes to the
+// heap at construction — is never built on the serial path.
+func serialElems(n int) bool {
+	return n < elemCutoff || parallel.Workers() == 1
+}
+
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewReLU returns a ReLU layer.
@@ -33,31 +42,54 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		r.mask = make([]bool, len(x.Data))
 	}
 	r.mask = r.mask[:len(x.Data)]
-	out := tensor.New(x.Shape...)
-	forElems(len(x.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := x.Data[i]; v > 0 {
-				out.Data[i] = v
-				r.mask[i] = true
-			} else {
-				r.mask[i] = false
-			}
-		}
+	r.out = ensureBuf(r.out, x.Shape...)
+	out := r.out
+	n := len(x.Data)
+	if serialElems(n) {
+		reluRange(out.Data, r.mask, x.Data, 0, n)
+		return out
+	}
+	parallel.For(n, func(lo, hi int) {
+		reluRange(out.Data, r.mask, x.Data, lo, hi)
 	})
 	return out
 }
 
+func reluRange(out []float32, mask []bool, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := x[i]; v > 0 {
+			out[i] = v
+			mask[i] = true
+		} else {
+			out[i] = 0
+			mask[i] = false
+		}
+	}
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape...)
-	forElems(len(grad.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if r.mask[i] {
-				out.Data[i] = grad.Data[i]
-			}
-		}
+	r.dx = ensureBuf(r.dx, grad.Shape...)
+	out := r.dx
+	n := len(grad.Data)
+	if serialElems(n) {
+		reluBackwardRange(out.Data, r.mask, grad.Data, 0, n)
+		return out
+	}
+	parallel.For(n, func(lo, hi int) {
+		reluBackwardRange(out.Data, r.mask, grad.Data, lo, hi)
 	})
 	return out
+}
+
+func reluBackwardRange(out []float32, mask []bool, grad []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if mask[i] {
+			out[i] = grad[i]
+		} else {
+			out[i] = 0
+		}
+	}
 }
 
 // Params implements Layer.
@@ -66,7 +98,8 @@ func (r *ReLU) Params() []*Param { return nil }
 // Tanh applies the hyperbolic tangent elementwise. LeNet-5 historically
 // used tanh-family activations.
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor // persistent output, cached for backward
+	dx *tensor.Tensor
 }
 
 // NewTanh returns a Tanh layer.
@@ -74,26 +107,44 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
-	forElems(len(x.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = float32(math.Tanh(float64(x.Data[i])))
-		}
+	t.y = ensureBuf(t.y, x.Shape...)
+	out := t.y
+	n := len(x.Data)
+	if serialElems(n) {
+		tanhRange(out.Data, x.Data, 0, n)
+		return out
+	}
+	parallel.For(n, func(lo, hi int) {
+		tanhRange(out.Data, x.Data, lo, hi)
 	})
-	t.y = out
 	return out
+}
+
+func tanhRange(out, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = float32(math.Tanh(float64(x[i])))
+	}
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape...)
-	forElems(len(grad.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y := t.y.Data[i]
-			out.Data[i] = grad.Data[i] * (1 - y*y)
-		}
+	t.dx = ensureBuf(t.dx, grad.Shape...)
+	out := t.dx
+	n := len(grad.Data)
+	if serialElems(n) {
+		tanhBackwardRange(out.Data, grad.Data, t.y.Data, 0, n)
+		return out
+	}
+	parallel.For(n, func(lo, hi int) {
+		tanhBackwardRange(out.Data, grad.Data, t.y.Data, lo, hi)
 	})
 	return out
+}
+
+func tanhBackwardRange(out, grad, y []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = grad[i] * (1 - y[i]*y[i])
+	}
 }
 
 // Params implements Layer.
@@ -105,6 +156,7 @@ type MaxPool2D struct {
 
 	inShape []int
 	arg     []int
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewMaxPool2D creates a kxk max pool with the given stride.
@@ -116,14 +168,22 @@ func NewMaxPool2D(k, stride int) *MaxPool2D {
 func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("MaxPool2D", x, 4)
 	m.inShape = append(m.inShape[:0], x.Shape...)
-	out, arg := tensor.MaxPool(x, m.P)
-	m.arg = arg
-	return out
+	n, c := x.Shape[0], x.Shape[1]
+	oh, ow := m.P.OutSize(x.Shape[2], x.Shape[3])
+	m.out = ensureBuf(m.out, n, c, oh, ow)
+	if cap(m.arg) < m.out.Size() {
+		m.arg = make([]int, m.out.Size())
+	}
+	m.arg = m.arg[:m.out.Size()]
+	tensor.MaxPoolInto(m.out, m.arg, x, m.P)
+	return m.out
 }
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxPoolBackward(grad, m.arg, m.inShape)
+	m.dx = ensureBuf(m.dx, m.inShape...)
+	tensor.MaxPoolBackwardInto(m.dx, grad, m.arg)
+	return m.dx
 }
 
 // Params implements Layer.
@@ -134,6 +194,7 @@ type AvgPool2D struct {
 	P tensor.ConvParams
 
 	inShape []int
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewAvgPool2D creates a kxk average pool with the given stride.
@@ -145,12 +206,18 @@ func NewAvgPool2D(k, stride int) *AvgPool2D {
 func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("AvgPool2D", x, 4)
 	a.inShape = append(a.inShape[:0], x.Shape...)
-	return tensor.AvgPool(x, a.P)
+	n, c := x.Shape[0], x.Shape[1]
+	oh, ow := a.P.OutSize(x.Shape[2], x.Shape[3])
+	a.out = ensureBuf(a.out, n, c, oh, ow)
+	tensor.AvgPoolInto(a.out, x, a.P)
+	return a.out
 }
 
 // Backward implements Layer.
 func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgPoolBackward(grad, a.inShape, a.P)
+	a.dx = ensureBuf(a.dx, a.inShape...)
+	tensor.AvgPoolBackwardInto(a.dx, grad, a.P)
+	return a.dx
 }
 
 // Params implements Layer.
@@ -160,6 +227,7 @@ func (a *AvgPool2D) Params() []*Param { return nil }
 // used before the classifier in ResNet and MobileNet.
 type GlobalAvgPool struct {
 	inShape []int
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewGlobalAvgPool returns a GlobalAvgPool layer.
@@ -170,7 +238,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("GlobalAvgPool", x, 4)
 	g.inShape = append(g.inShape[:0], x.Shape...)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(n, c)
+	g.out = ensureBuf(g.out, n, c)
+	out := g.out
 	inv := 1 / float32(h*w)
 	parallel.Do(n, func(img int) {
 		for ch := 0; ch < c; ch++ {
@@ -188,7 +257,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	dx := tensor.New(g.inShape...)
+	g.dx = ensureBuf(g.dx, g.inShape...)
+	dx := g.dx
 	inv := 1 / float32(h*w)
 	parallel.Do(n, func(img int) {
 		for ch := 0; ch < c; ch++ {

@@ -28,6 +28,8 @@ type BatchNorm2D struct {
 	xhat   *tensor.Tensor
 	invStd []float32
 	shape  []int
+
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewBatchNorm2D creates a batch-norm layer for c channels.
@@ -48,12 +50,13 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkDims("BatchNorm2D", x, 4)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	b.shape = append(b.shape[:0], x.Shape...)
-	out := tensor.New(x.Shape...)
+	b.out = ensureBuf(b.out, x.Shape...)
+	out := b.out
 	if cap(b.invStd) < c {
 		b.invStd = make([]float32, c)
 	}
 	b.invStd = b.invStd[:c]
-	b.xhat = tensor.New(x.Shape...)
+	b.xhat = ensureBuf(b.xhat, x.Shape...)
 	cnt := float32(n * h * w)
 
 	// Every channel's statistics, running-stat cells, xhat plane, and
@@ -105,7 +108,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 //	dx = invStd/m * (m*dxhat - Σdxhat - xhat*Σ(dxhat*xhat))
 func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := b.shape[0], b.shape[1], b.shape[2], b.shape[3]
-	dx := tensor.New(b.shape...)
+	b.dx = ensureBuf(b.dx, b.shape...)
+	dx := b.dx
 	m := float32(n * h * w)
 	parallel.Do(c, func(ch int) {
 		g := b.Gamma.W.Data[ch]

@@ -17,6 +17,11 @@ type Conv2D struct {
 	inShape []int
 	cols    *tensor.Tensor // cached im2col matrix
 	oh, ow  int
+
+	// Persistent buffers, sized on first batch and reused by capacity.
+	y, out          *tensor.Tensor // forward: pre-transpose rows, NCHW output
+	g2, dcols, dx   *tensor.Tensor // backward: NHWC grad, column grad, input grad
+	dwScr, dbScr    *tensor.Tensor // weight/bias gradient scratch
 }
 
 // NewConv2D creates a conv layer with a square kernel, He init.
@@ -39,12 +44,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n := x.Shape[0]
 	c.inShape = append(c.inShape[:0], x.Shape...)
 	c.oh, c.ow = c.P.OutSize(x.Shape[2], x.Shape[3])
-	c.cols = tensor.Im2Col(x, c.P) // [N*OH*OW, InC*K*K]
+	c.cols = ensureBuf(c.cols, n*c.oh*c.ow, c.InC*c.P.KH*c.P.KW)
+	tensor.Im2ColInto(c.cols, x, c.P) // [N*OH*OW, InC*K*K]
 	// y = cols · Wᵀ  -> [N*OH*OW, OutC]
-	y := tensor.MatMulT2(c.cols, c.Weight.W)
-	tensor.AddRowVector(y, c.Bias.W)
+	c.y = ensureBuf(c.y, n*c.oh*c.ow, c.OutC)
+	tensor.MatMulT2Into(c.y, c.cols, c.Weight.W)
+	tensor.AddRowVector(c.y, c.Bias.W)
 	// Rearrange [N, OH, OW, OutC] -> [N, OutC, OH, OW].
-	return nhwcToNCHW(y, n, c.oh, c.ow, c.OutC)
+	c.out = ensureBuf(c.out, n, c.OutC, c.oh, c.ow)
+	nhwcToNCHWInto(c.out, c.y, n, c.oh, c.ow, c.OutC)
+	return c.out
 }
 
 // Backward implements Layer.
@@ -53,12 +62,22 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	lstatConvBwd.Add(1)
 	n := grad.Shape[0]
 	// Back to [N*OH*OW, OutC] layout to mirror the forward pass.
-	g2 := nchwToNHWC(grad, n, c.OutC, c.oh, c.ow)
+	c.g2 = ensureBuf(c.g2, n*c.oh*c.ow, c.OutC)
+	nchwToNHWCInto(c.g2, grad, n, c.OutC, c.oh, c.ow)
 	// dW = g2ᵀ · cols ; db = Σ_rows g2 ; dcols = g2 · W
-	tensor.AddInPlace(c.Weight.Grad, tensor.MatMulT1(g2, c.cols))
-	tensor.AddInPlace(c.Bias.Grad, tensor.SumRows(g2))
-	dcols := tensor.MatMul(g2, c.Weight.W)
-	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.P)
+	// Gradients go through scratch then AddInPlace so the accumulation
+	// rounding order matches the allocating path exactly.
+	c.dwScr = ensureBuf(c.dwScr, c.Weight.W.Shape...)
+	tensor.MatMulT1Into(c.dwScr, c.g2, c.cols)
+	tensor.AddInPlace(c.Weight.Grad, c.dwScr)
+	c.dbScr = ensureBuf(c.dbScr, c.OutC)
+	tensor.SumRowsInto(c.dbScr, c.g2)
+	tensor.AddInPlace(c.Bias.Grad, c.dbScr)
+	c.dcols = ensureBuf(c.dcols, n*c.oh*c.ow, c.InC*c.P.KH*c.P.KW)
+	tensor.MatMulInto(c.dcols, c.g2, c.Weight.W)
+	c.dx = ensureBuf(c.dx, c.inShape...)
+	tensor.Col2ImInto(c.dx, c.dcols, c.P)
+	return c.dx
 }
 
 // Params implements Layer.
@@ -68,31 +87,55 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
 // Images transpose independently into disjoint output blocks.
 func nhwcToNCHW(y *tensor.Tensor, n, h, w, ch int) *tensor.Tensor {
 	out := tensor.New(n, ch, h, w)
-	hw := h * w
-	parallel.Do(n, func(img int) {
-		for pos := 0; pos < hw; pos++ {
-			row := y.Data[(img*hw+pos)*ch : (img*hw+pos+1)*ch]
-			for cc, v := range row {
-				out.Data[(img*ch+cc)*hw+pos] = v
-			}
-		}
-	})
+	nhwcToNCHWInto(out, y, n, h, w, ch)
 	return out
 }
 
-// nchwToNHWC converts an NCHW tensor into a [N*H*W, C] row matrix.
-func nchwToNHWC(x *tensor.Tensor, n, ch, h, w int) *tensor.Tensor {
-	out := tensor.New(n*h*w, ch)
+// nhwcToNCHWInto converts into an existing NCHW tensor, overwriting it.
+func nhwcToNCHWInto(out, y *tensor.Tensor, n, h, w, ch int) {
 	hw := h * w
-	parallel.Do(n, func(img int) {
-		for cc := 0; cc < ch; cc++ {
-			plane := x.Data[(img*ch+cc)*hw : (img*ch+cc+1)*hw]
-			for pos, v := range plane {
-				out.Data[(img*hw+pos)*ch+cc] = v
-			}
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			nhwcImage(out.Data, y.Data, hw, ch, img)
 		}
+		return
+	}
+	parallel.Do(n, func(img int) {
+		nhwcImage(out.Data, y.Data, hw, ch, img)
 	})
-	return out
+}
+
+func nhwcImage(out, y []float32, hw, ch, img int) {
+	for pos := 0; pos < hw; pos++ {
+		row := y[(img*hw+pos)*ch : (img*hw+pos+1)*ch]
+		for cc, v := range row {
+			out[(img*ch+cc)*hw+pos] = v
+		}
+	}
+}
+
+// nchwToNHWCInto converts an NCHW tensor into an existing [N*H*W, C]
+// row matrix, overwriting it.
+func nchwToNHWCInto(out, x *tensor.Tensor, n, ch, h, w int) {
+	hw := h * w
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			nchwImage(out.Data, x.Data, hw, ch, img)
+		}
+		return
+	}
+	parallel.Do(n, func(img int) {
+		nchwImage(out.Data, x.Data, hw, ch, img)
+	})
+}
+
+func nchwImage(out, x []float32, hw, ch, img int) {
+	for cc := 0; cc < ch; cc++ {
+		plane := x[(img*ch+cc)*hw : (img*ch+cc+1)*hw]
+		for pos, v := range plane {
+			out[(img*hw+pos)*ch+cc] = v
+		}
+	}
 }
 
 // DepthwiseConv2D applies one kxk filter per input channel (groups ==
@@ -106,6 +149,7 @@ type DepthwiseConv2D struct {
 	inShape []int
 	x       *tensor.Tensor
 	oh, ow  int
+	out, dx *tensor.Tensor // persistent buffers
 }
 
 // NewDepthwiseConv2D creates a depthwise conv layer.
@@ -125,7 +169,8 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	d.inShape = append(d.inShape[:0], x.Shape...)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	d.oh, d.ow = d.P.OutSize(h, w)
-	out := tensor.New(n, c, d.oh, d.ow)
+	d.out = ensureBuf(d.out, n, c, d.oh, d.ow)
+	out := d.out
 	k2 := d.P.KH * d.P.KW
 	parallel.Do(n, func(img int) {
 		oi := img * c * d.oh * d.ow
@@ -159,7 +204,9 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := d.inShape[0], d.inShape[1], d.inShape[2], d.inShape[3]
-	dx := tensor.New(d.inShape...)
+	d.dx = ensureBuf(d.dx, d.inShape...)
+	dx := d.dx
+	dx.Zero() // the scatter below accumulates
 	k2 := d.P.KH * d.P.KW
 	// Channel-outer so each task owns its filter gradient gw, bias
 	// gradient cell, and every image's dx plane for that channel. The

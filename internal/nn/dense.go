@@ -9,6 +9,10 @@ type Dense struct {
 	Bias    *Param
 
 	x *tensor.Tensor // cached input for backward
+
+	// Persistent buffers, sized on first batch and reused by capacity.
+	y, dx        *tensor.Tensor
+	dwScr, dbScr *tensor.Tensor
 }
 
 // NewDense creates a dense layer with He initialization (suited to the
@@ -27,9 +31,10 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkDims("Dense", x, 2)
 	lstatDenseFwd.Add(1)
 	d.x = x
-	y := tensor.MatMul(x, d.Weight.W)
-	tensor.AddRowVector(y, d.Bias.W)
-	return y
+	d.y = ensureBuf(d.y, x.Shape[0], d.Out)
+	tensor.MatMulInto(d.y, x, d.Weight.W)
+	tensor.AddRowVector(d.y, d.Bias.W)
+	return d.y
 }
 
 // Backward implements Layer.
@@ -37,9 +42,17 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkDims("Dense", grad, 2)
 	lstatDenseBwd.Add(1)
 	// dW = xᵀ · grad ; db = Σ_rows grad ; dx = grad · Wᵀ
-	tensor.AddInPlace(d.Weight.Grad, tensor.MatMulT1(d.x, grad))
-	tensor.AddInPlace(d.Bias.Grad, tensor.SumRows(grad))
-	return tensor.MatMulT2(grad, d.Weight.W)
+	// Gradients go through scratch then AddInPlace so the accumulation
+	// rounding order matches the allocating path exactly.
+	d.dwScr = ensureBuf(d.dwScr, d.Weight.W.Shape...)
+	tensor.MatMulT1Into(d.dwScr, d.x, grad)
+	tensor.AddInPlace(d.Weight.Grad, d.dwScr)
+	d.dbScr = ensureBuf(d.dbScr, d.Out)
+	tensor.SumRowsInto(d.dbScr, grad)
+	tensor.AddInPlace(d.Bias.Grad, d.dbScr)
+	d.dx = ensureBuf(d.dx, grad.Shape[0], d.In)
+	tensor.MatMulT2Into(d.dx, grad, d.Weight.W)
+	return d.dx
 }
 
 // Params implements Layer.

@@ -49,6 +49,7 @@ type Layer interface {
 // Flatten reshapes [N, ...] to [N, features]. It has no parameters.
 type Flatten struct {
 	inShape []int
+	out, dx tensor.Tensor // persistent view headers over caller data
 }
 
 // NewFlatten returns a Flatten layer.
@@ -57,16 +58,27 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape...)
-	return x.Reshape(x.Shape[0], -1)
+	n := x.Shape[0]
+	f.out.Shape = append(f.out.Shape[:0], n, len(x.Data)/n)
+	f.out.Data = x.Data
+	return &f.out
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.dx.Shape = append(f.dx.Shape[:0], f.inShape...)
+	f.dx.Data = grad.Data
+	return &f.dx
 }
 
 // Params implements Layer.
 func (f *Flatten) Params() []*Param { return nil }
+
+// ensureBuf is shorthand for tensor.Ensure: a layer-owned persistent
+// buffer, resized only on capacity growth, contents unspecified.
+func ensureBuf(buf *tensor.Tensor, shape ...int) *tensor.Tensor {
+	return tensor.Ensure(buf, shape...)
+}
 
 // checkDims panics with a descriptive message if x does not have the
 // expected rank.

@@ -12,6 +12,15 @@ import (
 // gradient with respect to the logits (softmax(x) - onehot)/N — the
 // fused, numerically stable formulation.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape...)
+	return SoftmaxCrossEntropyInto(grad, logits, labels), grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits
+// gradient into an existing tensor (same shape as logits), for callers
+// that own a persistent scratch buffer. Arithmetic is identical to the
+// allocating variant, so losses stay bit-for-bit equal.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float32 {
 	if logits.Dims() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy on %v", logits.Shape))
 	}
@@ -19,15 +28,16 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
-	probs := tensor.Softmax(logits)
-	grad := probs.Clone()
+	// The softmax probabilities are read out of grad before the one-hot
+	// subtraction, saving a separate probs tensor.
+	tensor.SoftmaxInto(grad, logits)
 	var loss float64
 	invN := 1 / float32(n)
 	for i, y := range labels {
 		if y < 0 || y >= c {
 			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
 		}
-		p := float64(probs.At(i, y))
+		p := float64(grad.Data[i*c+y])
 		if p < 1e-12 {
 			p = 1e-12
 		}
@@ -35,7 +45,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.
 		grad.Data[i*c+y] -= 1
 	}
 	tensor.Scale(invN, grad)
-	return float32(loss) / float32(n), grad
+	return float32(loss) / float32(n)
 }
 
 // Accuracy returns the fraction of rows whose argmax equals the label.

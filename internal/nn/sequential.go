@@ -10,13 +10,24 @@ import (
 // can nest Sequentials.
 type Sequential struct {
 	Layers []Layer
+
+	// Cached walks, invalidated by Add. ZeroGrad and the optimizer call
+	// Params every iteration; rebuilding these slices per call was a
+	// steady per-step allocation.
+	params  []*Param
+	weights []*tensor.Tensor
+	grads   []*tensor.Tensor
+	state   []*tensor.Tensor
 }
 
 // NewSequential builds a model from the given layers.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
 // Add appends a layer.
-func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+func (s *Sequential) Add(l Layer) {
+	s.Layers = append(s.Layers, l)
+	s.params, s.weights, s.grads, s.state = nil, nil, nil, nil
+}
 
 // Forward implements Layer.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -36,11 +47,14 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Layer.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+	if s.params == nil {
+		ps := make([]*Param, 0, len(s.Layers))
+		for _, l := range s.Layers {
+			ps = append(ps, l.Params()...)
+		}
+		s.params = ps
 	}
-	return ps
+	return s.params
 }
 
 // ZeroGrad clears all parameter gradients.
@@ -62,28 +76,37 @@ func (s *Sequential) ParamCount() int {
 // Weights returns the parameter tensors in declaration order, the
 // vector that collectives exchange.
 func (s *Sequential) Weights() []*tensor.Tensor {
-	ps := s.Params()
-	ws := make([]*tensor.Tensor, len(ps))
-	for i, p := range ps {
-		ws[i] = p.W
+	if s.weights == nil {
+		ps := s.Params()
+		ws := make([]*tensor.Tensor, len(ps))
+		for i, p := range ps {
+			ws[i] = p.W
+		}
+		s.weights = ws
 	}
-	return ws
+	return s.weights
 }
 
 // Grads returns the gradient tensors in declaration order.
 func (s *Sequential) Grads() []*tensor.Tensor {
-	ps := s.Params()
-	gs := make([]*tensor.Tensor, len(ps))
-	for i, p := range ps {
-		gs[i] = p.Grad
+	if s.grads == nil {
+		ps := s.Params()
+		gs := make([]*tensor.Tensor, len(ps))
+		for i, p := range ps {
+			gs[i] = p.Grad
+		}
+		s.grads = gs
 	}
-	return gs
+	return s.grads
 }
 
 // StateTensors returns non-trainable state (batch-norm running stats)
 // in declaration order, walking nested Sequentials and residual blocks.
 func (s *Sequential) StateTensors() []*tensor.Tensor {
-	var out []*tensor.Tensor
+	if s.state != nil {
+		return s.state
+	}
+	out := []*tensor.Tensor{}
 	var walk func(l Layer)
 	walk = func(l Layer) {
 		switch v := l.(type) {
@@ -101,6 +124,7 @@ func (s *Sequential) StateTensors() []*tensor.Tensor {
 		}
 	}
 	walk(s)
+	s.state = out
 	return out
 }
 
@@ -126,7 +150,9 @@ type Residual struct {
 	Body     *Sequential
 	Shortcut *Sequential // nil means identity
 
-	relu *ReLU
+	relu    *ReLU
+	sum, dx *tensor.Tensor // persistent buffers
+	params  []*Param
 }
 
 // NewResidual builds a residual block. Pass shortcut == nil for an
@@ -147,26 +173,37 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !y.SameShape(sc) {
 		panic(fmt.Sprintf("nn: residual shape mismatch %v vs %v", y.Shape, sc.Shape))
 	}
-	sum := tensor.Add(y, sc)
-	return r.relu.Forward(sum, train)
+	r.sum = ensureBuf(r.sum, y.Shape...)
+	tensor.AddInto(r.sum, y, sc)
+	return r.relu.Forward(r.sum, train)
 }
 
 // Backward implements Layer.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := r.relu.Backward(grad)
 	dBody := r.Body.Backward(g)
+	r.dx = ensureBuf(r.dx, dBody.Shape...)
 	if r.Shortcut != nil {
 		dSc := r.Shortcut.Backward(g)
-		return tensor.Add(dBody, dSc)
+		tensor.AddInto(r.dx, dBody, dSc)
+	} else {
+		tensor.AddInto(r.dx, dBody, g)
 	}
-	return tensor.Add(dBody, g)
+	return r.dx
 }
 
 // Params implements Layer.
 func (r *Residual) Params() []*Param {
-	ps := r.Body.Params()
-	if r.Shortcut != nil {
-		ps = append(ps, r.Shortcut.Params()...)
+	if r.params == nil {
+		// Build a fresh slice: appending to the Body's cached slice
+		// could clobber its spare capacity.
+		bp := r.Body.Params()
+		ps := make([]*Param, 0, len(bp)+4)
+		ps = append(ps, bp...)
+		if r.Shortcut != nil {
+			ps = append(ps, r.Shortcut.Params()...)
+		}
+		r.params = ps
 	}
-	return ps
+	return r.params
 }

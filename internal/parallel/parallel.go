@@ -108,8 +108,16 @@ func For(n int, fn func(lo, hi int)) {
 
 // Do runs fn(i) for every i in [0, n), fanning out like For. Each
 // index must own its state; results must be combined by the caller in
-// a fixed order.
+// a fixed order. The sequential regime skips the chunking wrapper
+// entirely so a Do-based kernel costs no more than its caller's
+// closure.
 func Do(n int, fn func(i int)) {
+	if cur.Load().workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)

@@ -89,11 +89,15 @@ func (o *Int8SGD) anchor(w *tensor.Tensor) []float32 {
 // with per-channel scales that persist across steps. If any channel's
 // weights have outgrown its grid, the tensor is re-anchored first.
 func (o *Int8SGD) Step(w, g *tensor.Tensor) {
+	gq := tensor.Scratch.GetTensor(g.Shape...)
+	defer tensor.Scratch.ReleaseTensor(gq)
 	if o.GradClip > 0 {
-		g = g.Clone()
-		tensor.ClipInPlace(g, o.GradClip)
+		gq.CopyFrom(g)
+		tensor.ClipInPlace(gq, o.GradClip)
+		FakeQuantizeInto(gq, gq)
+	} else {
+		FakeQuantizeInto(gq, g)
 	}
-	gq := FakeQuantize(g)
 
 	s := o.scaleOf(w)
 	ch, stride := channelsOf(w)

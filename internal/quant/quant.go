@@ -101,7 +101,23 @@ func (q *QTensor) Clone() *QTensor {
 // the result is exactly what the NPU would compute with, while staying
 // in float32 for the rest of the pipeline.
 func FakeQuantize(t *tensor.Tensor) *tensor.Tensor {
-	return Quantize(t).Dequantize()
+	out := tensor.New(t.Shape...)
+	FakeQuantizeInto(out, t)
+	return out
+}
+
+// FakeQuantizeInto rounds t onto its INT8 grid and back into an
+// existing tensor of the same element count, overwriting it. dst may
+// alias t. Results are bit-identical to FakeQuantize.
+func FakeQuantizeInto(dst, t *tensor.Tensor) {
+	if len(dst.Data) != len(t.Data) {
+		panic(fmt.Sprintf("quant: FakeQuantizeInto size mismatch %v vs %v", dst.Shape, t.Shape))
+	}
+	s := scaleFor(t.AbsMax())
+	inv := 1 / s
+	for i, v := range t.Data {
+		dst.Data[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
+	}
 }
 
 // FakeQuantizeInPlace rounds t onto its INT8 grid in place.

@@ -205,15 +205,26 @@ func Broadcast(node transport.Node, members []int, root int, data []float32) err
 
 // flatten copies a tensor set into one vector.
 func flatten(ts []*tensor.Tensor) []float32 {
+	return flattenInto(nil, ts)
+}
+
+// flattenInto copies a tensor set into dst, reusing dst's storage when
+// its capacity suffices. Workers keep one flat buffer per exchange kind
+// and re-flatten into it every iteration, so the gradient-sync hot path
+// stops allocating after the first batch.
+func flattenInto(dst []float32, ts []*tensor.Tensor) []float32 {
 	total := 0
 	for _, t := range ts {
 		total += t.Size()
 	}
-	out := make([]float32, 0, total)
-	for _, t := range ts {
-		out = append(out, t.Data...)
+	if cap(dst) < total {
+		dst = make([]float32, 0, total)
 	}
-	return out
+	dst = dst[:0]
+	for _, t := range ts {
+		dst = append(dst, t.Data...)
+	}
+	return dst
 }
 
 // unflatten copies a vector back into a tensor set.

@@ -117,6 +117,9 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 		perMember = 1
 	}
 
+	// Flat exchange buffers, reused across iterations and epochs.
+	var wFlat, syncFlat []float32
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		shard := shards[group]
 		it := dataset.NewBatchIterator(shard, perMember*len(members), cfg.Seed+uint64(100+epoch))
@@ -132,7 +135,8 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 			// Intra-group sync of the FP32 weights: each member's CPU
 			// replica took a different SGD step; ring-average them (the
 			// weight-space equivalent of gradient SSGD at equal LR).
-			flat := flatten(mp.FP32.Weights())
+			wFlat = flattenInto(wFlat, mp.FP32.Weights())
+			flat := wFlat
 			if err := RingAllReduceAverage(node, members, flat); err != nil {
 				return err
 			}
@@ -143,7 +147,8 @@ func runMixedWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Data
 		// aggregation across groups.
 		mp.EndEpoch(val, cfg.ProbeBatch)
 		syncSet := append(mp.Weights(), mp.FP32.StateTensors()...)
-		flat := flatten(syncSet)
+		syncFlat = flattenInto(syncFlat, syncSet)
+		flat := syncFlat
 		if isGroupLeader {
 			if err := RingAllReduceAverage(node, leaders, flat); err != nil {
 				return err

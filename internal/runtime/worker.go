@@ -235,6 +235,9 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 	// Every node derives the identical sharding and batch order.
 	shards := train.ShardIID(len(cfg.Groups), cfg.Seed+1)
 
+	// Flat exchange buffers, reused across iterations and epochs.
+	var gradFlat, syncFlat []float32
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochSpan := reg.BeginSpan("epoch", "worker", me)
 		shard := shards[group]
@@ -272,7 +275,8 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 				}
 			}
 			// Intra-group SSGD: average gradients over the ring.
-			flat := flatten(model.Grads())
+			gradFlat = flattenInto(gradFlat, model.Grads())
+			flat := gradFlat
 			if len(lv) > 1 {
 				// Gradient payload entering group sync (4 bytes/float);
 				// the transport counters see the ring's chunked wire
@@ -300,7 +304,8 @@ func runWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, 
 		// then each leader broadcasts within its group. Batch-norm
 		// running statistics travel with the weights.
 		sync := append(model.Weights(), model.StateTensors()...)
-		flat := flatten(sync)
+		syncFlat = flattenInto(syncFlat, sync)
+		flat := syncFlat
 		if me == lv[0] {
 			if err := RingAllReduceAverage(node, leaders, flat); err != nil {
 				return err

@@ -34,76 +34,131 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := p.OutSize(h, w)
-	kstatIm2ColOps.Add(1)
 	cols := New(n*oh*ow, c*p.KH*p.KW)
+	Im2ColInto(cols, x, p)
+	return cols
+}
+
+// Im2ColInto unfolds x into an existing column matrix of shape
+// [N*OH*OW, C*KH*KW], overwriting every element.
+func Im2ColInto(cols, x *Tensor, p ConvParams) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2ColInto of %v (want NCHW)", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if cols.Dims() != 2 || cols.Shape[0] != n*oh*ow || cols.Shape[1] != c*p.KH*p.KW {
+		panic(fmt.Sprintf("tensor: Im2ColInto cols %v, want [%d %d]", cols.Shape, n*oh*ow, c*p.KH*p.KW))
+	}
+	kstatIm2ColOps.Add(1)
 	// Each image owns rows [img*oh*ow, (img+1)*oh*ow) of the column
-	// matrix, so images unfold independently.
+	// matrix, so images unfold independently. The sequential regime
+	// loops over a named function — no closure, no allocation.
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			im2colImage(cols.Data, x.Data, cols.Shape[1], c, h, w, oh, ow, p, img)
+		}
+		return
+	}
 	parallel.Do(n, func(img int) {
-		base := img * c * h * w
-		row := img * oh * ow
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
-				di := 0
-				for ch := 0; ch < c; ch++ {
-					cbase := base + ch*h*w
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.PH + ky
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.PW + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dst[di] = x.Data[cbase+iy*w+ix]
-							} else {
-								dst[di] = 0
-							}
-							di++
+		im2colImage(cols.Data, x.Data, cols.Shape[1], c, h, w, oh, ow, p, img)
+	})
+}
+
+// im2colImage unfolds one image's windows into its rows of the column
+// matrix.
+func im2colImage(cols, x []float32, colW, c, h, w, oh, ow int, p ConvParams, img int) {
+	base := img * c * h * w
+	row := img * oh * ow
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			dst := cols[row*colW : (row+1)*colW]
+			di := 0
+			for ch := 0; ch < c; ch++ {
+				cbase := base + ch*h*w
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.PH + ky
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.PW + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[di] = x[cbase+iy*w+ix]
+						} else {
+							dst[di] = 0
 						}
+						di++
 					}
 				}
-				row++
 			}
+			row++
 		}
-	})
-	return cols
+	}
 }
 
 // Col2Im folds a column matrix (as produced by Im2Col) back into an
 // NCHW image, accumulating overlapping contributions. It is the adjoint
 // of Im2Col and is used for the convolution input gradient.
 func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	img := New(n, c, h, w)
+	Col2ImInto(img, cols, p)
+	return img
+}
+
+// Col2ImInto folds cols into an existing NCHW tensor, overwriting its
+// contents (the accumulation of overlapping window contributions starts
+// from zero, not from img's prior values).
+func Col2ImInto(img, cols *Tensor, p ConvParams) {
+	if img.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto into %v (want NCHW)", img.Shape))
+	}
+	n, c, h, w := img.Shape[0], img.Shape[1], img.Shape[2], img.Shape[3]
 	oh, ow := p.OutSize(h, w)
 	if cols.Shape[0] != n*oh*ow || cols.Shape[1] != c*p.KH*p.KW {
-		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with %dx%dx%dx%d %+v", cols.Shape, n, c, h, w, p))
+		panic(fmt.Sprintf("tensor: Col2ImInto shape %v inconsistent with %dx%dx%dx%d %+v", cols.Shape, n, c, h, w, p))
 	}
-	img := New(n, c, h, w)
 	// All of image in's accumulations land in its own c*h*w block and
 	// keep their serial (oy, ox, ch, ky, kx) order, so folding images in
 	// parallel is race-free and bit-identical.
+	if parallel.Workers() == 1 {
+		for in := 0; in < n; in++ {
+			col2imImage(img.Data, cols.Data, cols.Shape[1], c, h, w, oh, ow, p, in)
+		}
+		return
+	}
 	parallel.Do(n, func(in int) {
-		base := in * c * h * w
-		row := in * oh * ow
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
-				si := 0
-				for ch := 0; ch < c; ch++ {
-					cbase := base + ch*h*w
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.PH + ky
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.PW + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								img.Data[cbase+iy*w+ix] += src[si]
-							}
-							si++
+		col2imImage(img.Data, cols.Data, cols.Shape[1], c, h, w, oh, ow, p, in)
+	})
+}
+
+// col2imImage folds one image's column rows back into its NCHW block,
+// zeroing the block first.
+func col2imImage(img, cols []float32, colW, c, h, w, oh, ow int, p ConvParams, in int) {
+	per := c * h * w
+	base := in * per
+	blk := img[base : base+per]
+	for i := range blk {
+		blk[i] = 0
+	}
+	row := in * oh * ow
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			src := cols[row*colW : (row+1)*colW]
+			si := 0
+			for ch := 0; ch < c; ch++ {
+				cbase := base + ch*h*w
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.PH + ky
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.PW + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							img[cbase+iy*w+ix] += src[si]
 						}
+						si++
 					}
 				}
-				row++
 			}
+			row++
 		}
-	})
-	return img
+	}
 }
 
 // MaxPool applies max pooling to x[N,C,H,W] and returns the pooled
@@ -113,59 +168,105 @@ func MaxPool(x *Tensor, p ConvParams) (*Tensor, []int) {
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Size())
+	MaxPoolInto(out, arg, x, p)
+	return out, arg
+}
+
+// MaxPoolInto applies max pooling into an existing output tensor and
+// argmax slice (len(arg) == out.Size()), overwriting both.
+func MaxPoolInto(out *Tensor, arg []int, x *Tensor, p ConvParams) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if out.Size() != n*c*oh*ow || len(arg) != out.Size() {
+		panic(fmt.Sprintf("tensor: MaxPoolInto out %v/arg %d, want %d elements", out.Shape, len(arg), n*c*oh*ow))
+	}
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			maxPoolImage(out.Data, arg, x.Data, c, h, w, oh, ow, p, img)
+		}
+		return
+	}
 	parallel.Do(n, func(img int) {
-		oi := img * c * oh * ow
-		for ch := 0; ch < c; ch++ {
-			cbase := (img*c + ch) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(0)
-					bi := -1
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.PH + ky
-						if iy < 0 || iy >= h {
+		maxPoolImage(out.Data, arg, x.Data, c, h, w, oh, ow, p, img)
+	})
+}
+
+// maxPoolImage pools one image, recording argmax positions.
+func maxPoolImage(out []float32, arg []int, x []float32, c, h, w, oh, ow int, p ConvParams, img int) {
+	oi := img * c * oh * ow
+	for ch := 0; ch < c; ch++ {
+		cbase := (img*c + ch) * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(0)
+				bi := -1
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.PH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.PW + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.PW + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							v := x.Data[cbase+iy*w+ix]
-							if bi < 0 || v > best {
-								best, bi = v, cbase+iy*w+ix
-							}
+						v := x[cbase+iy*w+ix]
+						if bi < 0 || v > best {
+							best, bi = v, cbase+iy*w+ix
 						}
 					}
-					out.Data[oi] = best
-					arg[oi] = bi
-					oi++
 				}
+				out[oi] = best
+				arg[oi] = bi
+				oi++
 			}
 		}
-	})
-	return out, arg
+	}
 }
 
 // MaxPoolBackward scatters the output gradient back to the argmax
 // positions recorded by MaxPool.
 func MaxPoolBackward(grad *Tensor, arg []int, inShape []int) *Tensor {
 	dx := New(inShape...)
+	MaxPoolBackwardInto(dx, grad, arg)
+	return dx
+}
+
+// MaxPoolBackwardInto scatters the output gradient into an existing
+// input-gradient tensor, overwriting its contents.
+func MaxPoolBackwardInto(dx, grad *Tensor, arg []int) {
 	n := grad.Shape[0]
 	if n == 0 {
-		return dx
+		dx.Zero()
+		return
 	}
 	// Argmax positions recorded for image img always point inside that
 	// image's own block of dx, so images scatter independently.
 	per := grad.Size() / n
-	parallel.Do(n, func(img int) {
-		for i := img * per; i < (img+1)*per; i++ {
-			if arg[i] >= 0 {
-				dx.Data[arg[i]] += grad.Data[i]
-			}
+	dper := dx.Size() / n
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			maxPoolBackwardImage(dx.Data, grad.Data, arg, per, dper, img)
 		}
+		return
+	}
+	parallel.Do(n, func(img int) {
+		maxPoolBackwardImage(dx.Data, grad.Data, arg, per, dper, img)
 	})
-	return dx
+}
+
+// maxPoolBackwardImage zeroes one image's input-gradient block and
+// scatters its output gradient to the recorded argmax positions.
+func maxPoolBackwardImage(dx, grad []float32, arg []int, per, dper, img int) {
+	blk := dx[img*dper : (img+1)*dper]
+	for i := range blk {
+		blk[i] = 0
+	}
+	for i := img * per; i < (img+1)*per; i++ {
+		if arg[i] >= 0 {
+			dx[arg[i]] += grad[i]
+		}
+	}
 }
 
 // AvgPool applies average pooling to x[N,C,H,W]. Out-of-bounds window
@@ -175,67 +276,115 @@ func AvgPool(x *Tensor, p ConvParams) *Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
+	AvgPoolInto(out, x, p)
+	return out
+}
+
+// AvgPoolInto applies average pooling into an existing output tensor,
+// overwriting its contents.
+func AvgPoolInto(out, x *Tensor, p ConvParams) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if out.Size() != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: AvgPoolInto out %v, want %d elements", out.Shape, n*c*oh*ow))
+	}
 	inv := 1 / float32(p.KH*p.KW)
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			avgPoolImage(out.Data, x.Data, inv, c, h, w, oh, ow, p, img)
+		}
+		return
+	}
 	parallel.Do(n, func(img int) {
-		oi := img * c * oh * ow
-		for ch := 0; ch < c; ch++ {
-			cbase := (img*c + ch) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var s float32
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.PH + ky
-						if iy < 0 || iy >= h {
+		avgPoolImage(out.Data, x.Data, inv, c, h, w, oh, ow, p, img)
+	})
+}
+
+// avgPoolImage average-pools one image with count_include_pad.
+func avgPoolImage(out, x []float32, inv float32, c, h, w, oh, ow int, p ConvParams, img int) {
+	oi := img * c * oh * ow
+	for ch := 0; ch < c; ch++ {
+		cbase := (img*c + ch) * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.PH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.PW + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.PW + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							s += x.Data[cbase+iy*w+ix]
-						}
+						s += x[cbase+iy*w+ix]
 					}
-					out.Data[oi] = s * inv
-					oi++
 				}
+				out[oi] = s * inv
+				oi++
 			}
 		}
-	})
-	return out
+	}
 }
 
 // AvgPoolBackward distributes the output gradient uniformly over each
 // pooling window.
 func AvgPoolBackward(grad *Tensor, inShape []int, p ConvParams) *Tensor {
-	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
-	oh, ow := p.OutSize(h, w)
 	dx := New(inShape...)
+	AvgPoolBackwardInto(dx, grad, p)
+	return dx
+}
+
+// AvgPoolBackwardInto distributes the output gradient into an existing
+// input-gradient tensor, overwriting its contents.
+func AvgPoolBackwardInto(dx, grad *Tensor, p ConvParams) {
+	if dx.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: AvgPoolBackwardInto into %v (want NCHW)", dx.Shape))
+	}
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	oh, ow := p.OutSize(h, w)
 	inv := 1 / float32(p.KH*p.KW)
+	if parallel.Workers() == 1 {
+		for img := 0; img < n; img++ {
+			avgPoolBackwardImage(dx.Data, grad.Data, inv, c, h, w, oh, ow, p, img)
+		}
+		return
+	}
 	parallel.Do(n, func(img int) {
-		gi := img * c * oh * ow
-		for ch := 0; ch < c; ch++ {
-			cbase := (img*c + ch) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := grad.Data[gi] * inv
-					gi++
-					for ky := 0; ky < p.KH; ky++ {
-						iy := oy*p.SH - p.PH + ky
-						if iy < 0 || iy >= h {
+		avgPoolBackwardImage(dx.Data, grad.Data, inv, c, h, w, oh, ow, p, img)
+	})
+}
+
+// avgPoolBackwardImage zeroes one image's input-gradient block and
+// distributes its output gradient uniformly over each window.
+func avgPoolBackwardImage(dx, grad []float32, inv float32, c, h, w, oh, ow int, p ConvParams, img int) {
+	per := c * h * w
+	blk := dx[img*per : (img+1)*per]
+	for i := range blk {
+		blk[i] = 0
+	}
+	gi := img * c * oh * ow
+	for ch := 0; ch < c; ch++ {
+		cbase := img*per + ch*h*w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad[gi] * inv
+				gi++
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.SH - p.PH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.SW - p.PW + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.KW; kx++ {
-							ix := ox*p.SW - p.PW + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							dx.Data[cbase+iy*w+ix] += g
-						}
+						dx[cbase+iy*w+ix] += g
 					}
 				}
 			}
 		}
-	})
-	return dx
+	}
 }

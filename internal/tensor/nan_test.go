@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// The GEMM kernels used to skip zero entries of the left operand as a
+// fast path. That optimization is wrong under IEEE 754: 0·NaN and 0·Inf
+// are NaN, so skipping masked a poisoned operand and let a diverged
+// model keep "training" on garbage. These regressions pin the fix, at
+// every worker count (the NaN must survive chunked parallel execution
+// identically).
+
+func nan32() float32 { return float32(math.NaN()) }
+
+func isNaN32(v float32) bool { return v != v }
+
+func TestMatMulPropagatesNaNThroughZero(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		atWorkers(t, p, func() {
+			// a has a zero row where b carries NaN columns: with the
+			// zero-skip, the NaN never reached the output.
+			a := FromSlice([]float32{0, 0, 1, 2}, 2, 2)
+			b := FromSlice([]float32{nan32(), 1, 3, 4}, 2, 2)
+			c := MatMul(a, b)
+			if !isNaN32(c.Data[0]) {
+				t.Fatalf("p=%d: 0·NaN lost: row 0 = %v", p, c.Data[:2])
+			}
+			// The unpoisoned entries stay finite.
+			if isNaN32(c.Data[3]) {
+				t.Fatalf("p=%d: NaN leaked into clean column: %v", p, c.Data)
+			}
+		})
+	}
+}
+
+func TestMatMulPropagatesInfThroughZero(t *testing.T) {
+	inf := float32(math.Inf(1))
+	a := FromSlice([]float32{0, 1, 0, 2}, 2, 2)
+	b := FromSlice([]float32{inf, 0, 1, 1}, 2, 2)
+	c := MatMul(a, b)
+	// 0·Inf + 1·1 = NaN + 1 = NaN.
+	if !isNaN32(c.Data[0]) || !isNaN32(c.Data[2]) {
+		t.Fatalf("0·Inf must poison the column: %v", c.Data)
+	}
+}
+
+func TestMatMulT1PropagatesNaNThroughZero(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		atWorkers(t, p, func() {
+			// MatMulT1(a, b) = aᵀ·b; a zero in aᵀ's row meets a NaN in b.
+			a := FromSlice([]float32{0, 1, nan32(), 2}, 2, 2)
+			b := FromSlice([]float32{nan32(), 1, 1, 1}, 2, 2)
+			c := MatMulT1(a, b)
+			// c[0,0] = a[0,0]·b[0,0] + a[1,0]·b[1,0] = 0·NaN + NaN·1.
+			if !isNaN32(c.Data[0]) {
+				t.Fatalf("p=%d: T1 zero-skip masked NaN: %v", p, c.Data)
+			}
+		})
+	}
+}
+
+func TestMatMulT2PropagatesNaNThroughZero(t *testing.T) {
+	a := FromSlice([]float32{0, 1, 2, 3}, 2, 2)
+	b := FromSlice([]float32{nan32(), 0, 0, 1}, 2, 2)
+	c := MatMulT2(a, b)
+	// c[0,0] = 0·NaN + 1·0 = NaN.
+	if !isNaN32(c.Data[0]) {
+		t.Fatalf("T2 lost 0·NaN: %v", c.Data)
+	}
+}

@@ -26,14 +26,37 @@ func forElems(n int, fn func(lo, hi int)) {
 
 // Add returns a + b elementwise as a new tensor.
 func Add(a, b *Tensor) *Tensor {
-	checkSame("Add", a, b)
 	out := New(a.Shape...)
-	forElems(len(a.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] + b.Data[i]
-		}
-	})
+	AddInto(out, a, b)
 	return out
+}
+
+// AddInto computes dst = a + b elementwise into an existing tensor.
+// dst may alias a or b. The serial regime calls a named range function
+// rather than building a closure, so the hot path stays allocation-free
+// (a func literal that may reach a goroutine always heap-allocates).
+func AddInto(dst, a, b *Tensor) {
+	checkSame("AddInto", a, b)
+	checkSame("AddInto", dst, a)
+	n := len(a.Data)
+	if serialElems(n) {
+		addRange(dst.Data, a.Data, b.Data, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { addRange(dst.Data, a.Data, b.Data, lo, hi) })
+}
+
+func addRange(dst, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// serialElems reports whether an elementwise op over n items should run
+// on the calling goroutine: too small to pay for fan-out, or the pool
+// is sequential anyway.
+func serialElems(n int) bool {
+	return n < elementwiseCutoff || parallel.Workers() == 1
 }
 
 // Sub returns a - b elementwise as a new tensor.
@@ -63,41 +86,69 @@ func Mul(a, b *Tensor) *Tensor {
 // AddInPlace accumulates b into a (a += b).
 func AddInPlace(a, b *Tensor) {
 	checkSame("AddInPlace", a, b)
-	forElems(len(a.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += b.Data[i]
-		}
-	})
+	n := len(a.Data)
+	if serialElems(n) {
+		addInPlaceRange(a.Data, b.Data, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { addInPlaceRange(a.Data, b.Data, lo, hi) })
+}
+
+func addInPlaceRange(a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a[i] += b[i]
+	}
 }
 
 // SubInPlace subtracts b from a (a -= b).
 func SubInPlace(a, b *Tensor) {
 	checkSame("SubInPlace", a, b)
-	forElems(len(a.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] -= b.Data[i]
-		}
-	})
+	n := len(a.Data)
+	if serialElems(n) {
+		subInPlaceRange(a.Data, b.Data, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { subInPlaceRange(a.Data, b.Data, lo, hi) })
+}
+
+func subInPlaceRange(a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a[i] -= b[i]
+	}
 }
 
 // Axpy performs a += alpha*b, the workhorse of SGD updates and gradient
 // aggregation.
 func Axpy(alpha float32, b, a *Tensor) {
 	checkSame("Axpy", a, b)
-	forElems(len(a.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += alpha * b.Data[i]
-		}
-	})
+	n := len(a.Data)
+	if serialElems(n) {
+		axpyRange(alpha, b.Data, a.Data, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { axpyRange(alpha, b.Data, a.Data, lo, hi) })
+}
+
+func axpyRange(alpha float32, b, a []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a[i] += alpha * b[i]
+	}
 }
 
 // Scale multiplies every element of t by alpha in place.
 func Scale(alpha float32, t *Tensor) {
-	forElems(len(t.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t.Data[i] *= alpha
-		}
-	})
+	n := len(t.Data)
+	if serialElems(n) {
+		scaleRange(alpha, t.Data, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { scaleRange(alpha, t.Data, lo, hi) })
+}
+
+func scaleRange(alpha float32, t []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t[i] *= alpha
+	}
 }
 
 // Scaled returns alpha*t as a new tensor.
@@ -112,15 +163,23 @@ func Scaled(alpha float32, t *Tensor) *Tensor {
 }
 
 // Lerp overwrites dst with (1-w)*a + w*b, used by SoCFlow's Eq. 5
-// mixed-precision weight merge.
+// mixed-precision weight merge. It runs once per parameter per epoch,
+// so it takes the allocation-free serial path like the other hot ops.
 func Lerp(dst, a, b *Tensor, w float32) {
 	checkSame("Lerp", a, b)
 	checkSame("Lerp", dst, a)
-	forElems(len(dst.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] = (1-w)*a.Data[i] + w*b.Data[i]
-		}
-	})
+	n := len(dst.Data)
+	if serialElems(n) {
+		lerpRange(dst.Data, a.Data, b.Data, w, 0, n)
+		return
+	}
+	parallel.For(n, func(lo, hi int) { lerpRange(dst.Data, a.Data, b.Data, w, lo, hi) })
+}
+
+func lerpRange(dst, a, b []float32, w float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = (1-w)*a[i] + w*b[i]
+	}
 }
 
 // Dot returns the inner product of the flattened tensors.
@@ -153,30 +212,39 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.Shape, b.Shape))
 	}
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = A x B into an existing [m,n] tensor,
+// overwriting its contents. It is the scratch-buffer variant of MatMul
+// and produces bit-identical results.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto needs 2-D operands, got %v x %v", a.Shape, b.Shape))
+	}
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	matmulInto(out.Data, a.Data, b.Data, m, k, n)
-	return out
+	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
 }
 
 // gemmCutoff is the multiply-add count below which a GEMM runs on the
 // calling goroutine; smaller products finish before a fan-out pays off.
 const gemmCutoff = 1 << 15
 
-// forRows fans a row range [0, m) out through the worker pool when the
-// product is large enough. Each row of the output is owned by exactly
-// one chunk and every per-element accumulation keeps its serial order,
-// so results are bit-identical at any parallelism level.
-func forRows(m, flops int, fn func(lo, hi int)) {
-	if flops < gemmCutoff {
-		fn(0, m)
-		return
-	}
-	parallel.For(m, fn)
+// serialRows reports whether a GEMM of the given multiply-add count
+// should run on the calling goroutine; smaller products finish before a
+// fan-out pays off. Each GEMM keeps its closure on the parallel branch
+// only, so the serial hot path never allocates.
+func serialRows(flops int) bool {
+	return flops < gemmCutoff || parallel.Workers() == 1
 }
 
 // matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices,
@@ -184,22 +252,31 @@ func forRows(m, flops int, fn func(lo, hi int)) {
 func matmulInto(dst, a, b []float32, m, k, n int) {
 	t0 := countGEMM(m, k, n)
 	defer gemmDone(t0)
-	forRows(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			crow := dst[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+	if serialRows(m * k * n) {
+		matmulRange(dst, a, b, k, n, 0, m)
+		return
+	}
+	parallel.For(m, func(lo, hi int) { matmulRange(dst, a, b, k, n, lo, hi) })
+}
+
+// matmulRange computes output rows [lo, hi). Every a[i,p]*b[p,j]
+// product is accumulated — there is deliberately no zero-value skip:
+// 0*NaN must stay NaN so exploding-gradient corruption is never masked.
+func matmulRange(dst, a, b []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulT1 computes C = Aᵀ x B for A[k,m], B[k,n] -> C[m,n], used in
@@ -207,58 +284,92 @@ func matmulInto(dst, a, b []float32, m, k, n int) {
 // element still accumulates over p in ascending order, so the result
 // is identical to the sequential kernel.
 func MatMulT1(a, b *Tensor) *Tensor {
+	out := New(a.Shape[1], b.Shape[1])
+	MatMulT1Into(out, a, b)
+	return out
+}
+
+// MatMulT1Into computes dst = Aᵀ x B into an existing [m,n] tensor,
+// overwriting its contents. Like matmulInto it never skips zero
+// operands, so NaN/Inf in either factor always propagates.
+func MatMulT1Into(dst, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %v x %v", a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: MatMulT1Into dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT1Into dst %v, want [%d %d]", dst.Shape, m, n))
+	}
 	t0 := countGEMM(m, k, n)
 	defer gemmDone(t0)
-	forRows(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.Data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+	if serialRows(m * k * n) {
+		matmulT1Range(dst.Data, a.Data, b.Data, m, k, n, 0, m)
+		return
+	}
+	parallel.For(m, func(lo, hi int) { matmulT1Range(dst.Data, a.Data, b.Data, m, k, n, lo, hi) })
+}
+
+// matmulT1Range computes Aᵀ·B output rows [lo, hi), accumulating over p
+// in ascending order with no zero-operand skip (NaN/Inf must propagate).
+func matmulT1Range(dst, a, b []float32, m, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := dst[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MatMulT2 computes C = A x Bᵀ for A[m,k], B[n,k] -> C[m,n], used in
 // dense-layer input gradients.
 func MatMulT2(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[0])
+	MatMulT2Into(out, a, b)
+	return out
+}
+
+// MatMulT2Into computes dst = A x Bᵀ into an existing [m,n] tensor,
+// overwriting its contents.
+func MatMulT2Into(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %v x %v", a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: MatMulT2Into dimension mismatch %v x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT2Into dst %v, want [%d %d]", dst.Shape, m, n))
+	}
 	t0 := countGEMM(m, k, n)
 	defer gemmDone(t0)
-	forRows(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				crow[j] = s
+	if serialRows(m * k * n) {
+		matmulT2Range(dst.Data, a.Data, b.Data, k, n, 0, m)
+		return
+	}
+	parallel.For(m, func(lo, hi int) { matmulT2Range(dst.Data, a.Data, b.Data, k, n, lo, hi) })
+}
+
+// matmulT2Range computes A·Bᵀ output rows [lo, hi).
+func matmulT2Range(dst, a, b []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
 			}
+			crow[j] = s
 		}
-	})
-	return out
+	}
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.
@@ -282,15 +393,30 @@ func SumRows(a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: SumRows of %v", a.Shape))
 	}
+	out := New(a.Shape[1])
+	SumRowsInto(out, a)
+	return out
+}
+
+// SumRowsInto reduces a[m,n] over rows into an existing dst[n],
+// overwriting its contents.
+func SumRowsInto(dst, a *Tensor) {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SumRowsInto of %v", a.Shape))
+	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(n)
+	if dst.Dims() != 1 || dst.Shape[0] != n {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst %v, want [%d]", dst.Shape, n))
+	}
+	for j := range dst.Data {
+		dst.Data[j] = 0
+	}
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : (i+1)*n]
 		for j, v := range row {
-			out.Data[j] += v
+			dst.Data[j] += v
 		}
 	}
-	return out
 }
 
 // AddRowVector adds vector v[n] to every row of a[m,n] in place
@@ -314,8 +440,20 @@ func Softmax(a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: Softmax of %v", a.Shape))
 	}
+	out := New(a.Shape...)
+	SoftmaxInto(out, a)
+	return out
+}
+
+// SoftmaxInto computes row-wise softmax of a into an existing tensor of
+// the same shape, overwriting its contents. dst may alias a.
+func SoftmaxInto(dst, a *Tensor) {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxInto of %v", a.Shape))
+	}
+	checkSame("SoftmaxInto", dst, a)
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(m, n)
+	out := dst
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : (i+1)*n]
 		orow := out.Data[i*n : (i+1)*n]
@@ -336,7 +474,6 @@ func Softmax(a *Tensor) *Tensor {
 			orow[j] *= inv
 		}
 	}
-	return out
 }
 
 // ArgmaxRows returns the per-row argmax of a 2-D tensor, i.e. the
@@ -394,6 +531,27 @@ func Rows(a *Tensor, lo, hi int) *Tensor {
 	}
 	shape := append([]int{hi - lo}, a.Shape[1:]...)
 	return &Tensor{Shape: shape, Data: a.Data[lo*stride : hi*stride]}
+}
+
+// RowsInto points view at rows [lo, hi) of a, reusing view's struct and
+// shape slice so repeated slicing (e.g. the mixed-precision batch split
+// every step) allocates nothing. Pass nil to create the view. The view
+// aliases a's storage exactly like Rows.
+func RowsInto(view, a *Tensor, lo, hi int) *Tensor {
+	if a.Dims() < 1 || lo < 0 || hi > a.Shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: RowsInto[%d:%d] of %v", lo, hi, a.Shape))
+	}
+	stride := 1
+	for _, d := range a.Shape[1:] {
+		stride *= d
+	}
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.Shape = append(view.Shape[:0], hi-lo)
+	view.Shape = append(view.Shape, a.Shape[1:]...)
+	view.Data = a.Data[lo*stride : hi*stride]
+	return view
 }
 
 // Concat concatenates tensors along dimension 0. All inputs must share

@@ -65,11 +65,19 @@ func numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panicNegativeDim(shape)
 		}
 		n *= d
 	}
 	return n
+}
+
+// panicNegativeDim formats a copy of shape so numel's parameter never
+// reaches an interface conversion: otherwise escape analysis marks
+// shape as leaking and every variadic call site (New, Ensure, arena
+// Get) heap-allocates its argument slice even on the happy path.
+func panicNegativeDim(shape []int) {
+	panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 }
 
 // Size returns the total number of elements.
@@ -146,16 +154,24 @@ func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
 
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
-		panic(fmt.Sprintf("tensor: index %v for shape %v", idx, t.Shape))
+		panicBadIndex(idx, t.Shape, "for")
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.Shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+			panicBadIndex(idx, t.Shape, "out of range for")
 		}
 		off = off*t.Shape[i] + x
 	}
 	return off
+}
+
+// panicBadIndex formats copies of idx and shape so offset's parameters
+// never reach an interface conversion — otherwise every At/Set call
+// site heap-allocates its variadic index slice (see panicNegativeDim).
+func panicBadIndex(idx, shape []int, what string) {
+	panic(fmt.Sprintf("tensor: index %v %s shape %v",
+		append([]int(nil), idx...), what, append([]int(nil), shape...)))
 }
 
 // Fill sets every element of t to v.

@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_compare.sh: allocation-regression gate.
+#
+# Runs the two hot-path benchmarks with -benchmem, compares allocs/op
+# at parallelism=1 against the committed baseline
+# (scripts/bench_baseline.txt), fails if any benchmark regresses by
+# more than 10%, and emits a machine-readable BENCH_pr4.json with the
+# measured and baseline numbers side by side.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/bench_baseline.txt
+OUT_JSON=${BENCH_OUT:-BENCH_pr4.json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' \
+    -benchmem -benchtime 3x . | tee "$RAW"
+
+# Compare parallelism=1 rows against the baseline and build the JSON
+# report in one awk pass over both files.
+awk -v out="$OUT_JSON" '
+    NR == FNR {
+        if ($0 !~ /^#/ && NF == 2) { base[$1] = $2 }
+        next
+    }
+    $1 ~ /^Benchmark/ && $0 ~ /allocs\/op/ {
+        name = $1
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns[name] = $(i-1)
+            if ($(i) == "B/op")      bytes[name] = $(i-1)
+            if ($(i) == "allocs/op") allocs[name] = $(i-1)
+        }
+        order[n++] = name
+    }
+    END {
+        printf "{\n  \"benchmarks\": [\n" > out
+        fail = 0
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            b = (name in base) ? base[name] : -1
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"baseline_allocs_per_op\": %d}%s\n", \
+                name, ns[name], bytes[name], allocs[name], b, (i < n-1 ? "," : "") > out
+            if (b >= 0) {
+                limit = b * 1.10
+                if (allocs[name] > limit) {
+                    printf "FAIL: %s allocs/op %s exceeds baseline %d by more than 10%% (limit %.1f)\n", \
+                        name, allocs[name], b, limit
+                    fail = 1
+                } else {
+                    printf "ok: %s allocs/op %s vs baseline %d (limit %.1f)\n", \
+                        name, allocs[name], b, limit
+                }
+            }
+        }
+        printf "  ]\n}\n" > out
+        exit fail
+    }
+' "$BASELINE" "$RAW"
+
+echo "wrote $OUT_JSON"
