@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare bench-report ci
+.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic ci
 
 all: ci
 
@@ -17,6 +17,13 @@ race:
 	$(GO) test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
 		./internal/core ./internal/runtime ./internal/transport ./internal/metrics
 
+# Seeded chaos suite: randomized crash/straggle/link-drop/rejoin
+# schedules against the elastic recovery track, under the race
+# detector. Every schedule must converge or tear down cleanly with
+# worker-named errors.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestElastic' -count 1 ./internal/runtime
+
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
 
@@ -26,6 +33,13 @@ bench:
 # and emits BENCH_pr4.json.
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Elastic-recovery experiment: tidal-trace preemption + return against
+# the heartbeat/retry/rejoin machinery, with the degrade→rejoin curve
+# and recovery counters in the emitted report.
+bench-elastic:
+	$(GO) run ./cmd/socflow-bench --exp elastic --samples 480 --epochs 8 \
+		--metrics-out BENCH_pr5.json
 
 # Scalability experiment with the observability subsystem on: emits the
 # structured run report (tables + metrics snapshot) and a Perfetto-

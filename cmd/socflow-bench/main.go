@@ -125,6 +125,9 @@ func catalog() []experiment {
 		{"faults", "extension: accuracy under injected SoC crashes (0/1/2 + tidal) with group degradation", func(o exp.Options, _ bool) ([]*exp.Table, error) {
 			return one(exp.ExpFaults(o))
 		}},
+		{"elastic", "extension: elastic recovery under the tidal trace (heartbeat detection, epoch retry, rejoin + state transfer)", func(o exp.Options, _ bool) ([]*exp.Table, error) {
+			return one(exp.ExpElastic(o))
+		}},
 	}
 }
 

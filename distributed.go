@@ -56,6 +56,24 @@ type DistributedConfig struct {
 	// survivors, which re-split the batch and re-normalize the
 	// gradient average, so the run completes instead of aborting.
 	DegradeOnFault bool
+	// PreemptWindows scripts tidal preemption episodes: SoC leaves at
+	// the start of epoch Epoch and (when Return >= 0) is handed back at
+	// the start of epoch Return. Setting any window enables the elastic
+	// recovery track — heartbeat detection, checkpoint-based epoch
+	// retry, and rejoin with leader-served state transfer — as do the
+	// WithHeartbeat and WithRecovery options. Build windows from
+	// cluster.TidalTrace.PreemptionEvents to replay the co-location
+	// trace.
+	PreemptWindows []PreemptWindow
+}
+
+// PreemptWindow is one scripted preemption episode for
+// DistributedConfig.PreemptWindows. Return -1 (or any negative value)
+// means the SoC never comes back.
+type PreemptWindow struct {
+	SoC    int
+	Epoch  int
+	Return int
 }
 
 // DistributedReport is RunDistributed's outcome.
@@ -71,6 +89,23 @@ type DistributedReport struct {
 	// events — when WithMetrics, WithTrace, or WithLogger was used
 	// (nil otherwise).
 	Metrics *metrics.RunReport
+	// Recovery summarizes the elastic track's activity (nil when the
+	// run used the plain track).
+	Recovery *RecoveryReport
+}
+
+// RecoveryReport is the elastic track's activity summary.
+type RecoveryReport struct {
+	// Detections is how many workers the heartbeat detector declared
+	// dead; Rejoins how many scheduled returns were re-admitted;
+	// Retries how many epoch retries were released.
+	Detections, Rejoins, Retries int
+	// MembershipEpoch is the final membership version (one increment
+	// per departure and per admission).
+	MembershipEpoch int
+	// StateTransferBytes is the serialized state shipped to rejoining
+	// nodes.
+	StateTransferBytes int64
 }
 
 // RunDistributed trains with the concurrent distributed engine. Unlike
@@ -132,6 +167,35 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 	if cfg.InjectCrashes > 0 {
 		dcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
 	}
+	if store, err := o.checkpointStore(); err != nil {
+		return nil, err
+	} else if store != nil {
+		dcfg.Checkpoints = store
+		dcfg.CheckpointEvery = o.checkpointEvery
+	}
+	if o.recovery || len(cfg.PreemptWindows) > 0 {
+		rc := &runtime.RecoveryConfig{
+			HeartbeatInterval: o.hbInterval,
+			HeartbeatTimeout:  o.hbTimeout,
+			MaxRetries:        o.maxRetries,
+			RetryBackoff:      o.retryBackoff,
+		}
+		if dcfg.Faults == nil {
+			dcfg.Faults = &transport.FaultPlan{}
+		}
+		for _, w := range cfg.PreemptWindows {
+			ev := transport.FaultEvent{Kind: transport.FaultCrash, Node: w.SoC, Epoch: w.Epoch}
+			if w.Return >= 0 {
+				ev.UntilEpoch = w.Return
+				rc.Rejoins = append(rc.Rejoins, runtime.Rejoin{Node: w.SoC, Epoch: w.Return})
+			}
+			dcfg.Faults.Events = append(dcfg.Faults.Events, ev)
+		}
+		if len(dcfg.Faults.Events) == 0 {
+			dcfg.Faults = nil
+		}
+		dcfg.Recovery = rc
+	}
 	finish := core.BeginKernelHarvest(reg)
 	span := reg.BeginSpan("run", "facade", 0)
 	res, err := runtime.RunDistributed(ctx, mesh, spec, train, val, dcfg)
@@ -144,6 +208,15 @@ func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) 
 	for _, a := range res.EpochAccuracies {
 		if a > rep.BestAccuracy {
 			rep.BestAccuracy = a
+		}
+	}
+	if s := res.Recovery; s != nil {
+		rep.Recovery = &RecoveryReport{
+			Detections:         s.Detections,
+			Rejoins:            s.Rejoins,
+			Retries:            s.Retries,
+			MembershipEpoch:    s.MembershipEpoch,
+			StateTransferBytes: s.StateTransferBytes,
 		}
 	}
 	rep.Metrics = reg.Snapshot()

@@ -305,23 +305,65 @@ func TestPreemptionEventsDeterministicAndTidal(t *testing.T) {
 	if len(a) != len(b) {
 		t.Fatalf("same seed, different event counts: %d vs %d", len(a), len(b))
 	}
-	seen := map[int]bool{}
+	// Episodes per SoC must be well-formed: chronological, non-
+	// overlapping, and only the last may be open-ended (Return -1).
+	last := map[int]int{} // SoC -> end of its previous episode
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
 		}
-		if seen[a[i].SoC] {
-			t.Fatalf("SoC %d preempted twice", a[i].SoC)
+		ev := a[i]
+		if ev.SoC < 0 || ev.SoC >= 16 || ev.Epoch < 0 || ev.Epoch >= 8 {
+			t.Fatalf("event out of range: %+v", ev)
 		}
-		seen[a[i].SoC] = true
-		if a[i].SoC < 0 || a[i].SoC >= 16 || a[i].Epoch < 0 || a[i].Epoch >= 8 {
-			t.Fatalf("event out of range: %+v", a[i])
+		if ev.Return != -1 && ev.Return <= ev.Epoch {
+			t.Fatalf("episode ends before it starts: %+v", ev)
 		}
+		if end, ok := last[ev.SoC]; ok {
+			if end == -1 {
+				t.Fatalf("SoC %d preempted again after an open-ended episode: %+v", ev.SoC, ev)
+			}
+			if ev.Epoch < end {
+				t.Fatalf("SoC %d episodes overlap: new %+v, previous end %d", ev.SoC, ev, end)
+			}
+		}
+		last[ev.SoC] = ev.Return
 	}
 	// Afternoon peak must reclaim far more SoCs than the nightly trough.
 	peak := len(tr.PreemptionEvents(64, 8, 14, 0.25, 3))
 	night := len(tr.PreemptionEvents(64, 8, 4, 0.25, 3))
 	if peak <= night {
 		t.Fatalf("peak-hour session lost %d SoCs, night session %d; tidal shape missing", peak, night)
+	}
+}
+
+// The degenerate trace shapes pin the episode semantics exactly.
+func TestPreemptionEventsKnownSchedules(t *testing.T) {
+	// Always busy: every SoC is reclaimed at epoch 0 and never returned.
+	full := TidalTrace{PeakBusy: 1, TroughBusy: 1}.PreemptionEvents(5, 4, 0, 1, 7)
+	if len(full) != 5 {
+		t.Fatalf("always-busy trace emitted %d events, want 5", len(full))
+	}
+	for i, ev := range full {
+		if ev != (PreemptionEvent{SoC: i, Epoch: 0, Return: -1}) {
+			t.Fatalf("always-busy event %d = %+v", i, ev)
+		}
+	}
+	// Never busy: nothing is ever reclaimed.
+	if evs := (TidalTrace{}).PreemptionEvents(5, 4, 0, 1, 7); len(evs) != 0 {
+		t.Fatalf("idle trace emitted events: %+v", evs)
+	}
+	// A session crossing from peak into trough must hand SoCs back:
+	// some episode ends before the session does.
+	tr := DefaultTidalTrace()
+	evs := tr.PreemptionEvents(32, 16, 14, 0.75, 11)
+	returned := 0
+	for _, ev := range evs {
+		if ev.Return >= 0 {
+			returned++
+		}
+	}
+	if returned == 0 {
+		t.Fatalf("peak-to-trough session returned no SoCs across %d episodes", len(evs))
 	}
 }

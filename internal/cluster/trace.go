@@ -97,32 +97,46 @@ func (tr TidalTrace) BusySchedule(n int, seed uint64) [][]bool {
 	return out
 }
 
-// PreemptionEvent records a SoC being reclaimed by user traffic at the
-// start of a training epoch — the failure mode the co-location story
-// must absorb (§2.2: training borrows idle SoCs and yields them back
-// the moment user workloads return).
+// PreemptionEvent records one preemption episode: user traffic
+// reclaims a SoC at the start of epoch Epoch, and hands it back at the
+// start of epoch Return — the failure-and-recovery cycle the
+// co-location story must absorb (§2.2: training borrows idle SoCs,
+// yields them the moment user workloads arrive, and gets them back
+// when the traffic recedes). Return is -1 when the SoC never comes
+// back within the session.
 type PreemptionEvent struct {
 	SoC, Epoch int
+	Return     int
 }
 
-// PreemptionEvents samples which SoCs user traffic reclaims during a
-// training session that starts at startHour and advances epochHours of
-// wall clock per epoch, following the tidal busy profile: a session
-// that strays out of the nightly trough loses SoCs at the rate the
-// trace predicts. At most one event is emitted per SoC — the first
-// preemption — since a reclaimed SoC leaves the session for good.
-// Deterministic in seed; feed the result to a transport.FaultPlan to
+// PreemptionEvents samples the preemption episodes of a training
+// session that starts at startHour and advances epochHours of wall
+// clock per epoch, following the tidal busy profile: a session that
+// strays out of the nightly trough loses SoCs at the rate the trace
+// predicts, and a session that runs back into the trough gets them
+// returned. Each epoch a present SoC is reclaimed with the hour's busy
+// probability, and an absent SoC is handed back with the idle
+// probability, so one SoC can contribute several leave/return episodes.
+// Episodes are ordered by departure epoch (SoC index breaking ties),
+// deterministic in seed; feed the result to a transport.FaultPlan —
+// and the Return epochs to the elastic runtime's rejoin schedule — to
 // replay it against the distributed runtime.
 func (tr TidalTrace) PreemptionEvents(n, epochs int, startHour, epochHours float64, seed uint64) []PreemptionEvent {
 	r := tensor.NewRNG(seed)
-	gone := make([]bool, n)
+	open := make([]int, n) // 1+index into out of the SoC's open episode; 0 = present
 	var out []PreemptionEvent
 	for e := 0; e < epochs; e++ {
 		busy := tr.BusyFraction(startHour + float64(e)*epochHours)
 		for s := 0; s < n; s++ {
-			if !gone[s] && r.Float64() < busy {
-				gone[s] = true
-				out = append(out, PreemptionEvent{SoC: s, Epoch: e})
+			draw := r.Float64()
+			if open[s] == 0 {
+				if draw < busy {
+					out = append(out, PreemptionEvent{SoC: s, Epoch: e, Return: -1})
+					open[s] = len(out)
+				}
+			} else if draw < 1-busy {
+				out[open[s]-1].Return = e
+				open[s] = 0
 			}
 		}
 	}

@@ -17,6 +17,10 @@ import (
 // on-SoC persistence behind §3's preemption design.
 type CheckpointStore struct {
 	dir string
+	// KeepLast, when positive, bounds the store: every Save prunes all
+	// but the newest KeepLast checkpoints, so periodic auto-checkpointing
+	// cannot fill the disk. Zero keeps everything.
+	KeepLast int
 }
 
 // NewCheckpointStore creates (if needed) and opens a store directory.
@@ -58,7 +62,13 @@ func (s *CheckpointStore) Save(cp *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), s.path(cp.Epoch)); err != nil {
 		return err
 	}
-	return syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if s.KeepLast > 0 {
+		return s.Prune(s.KeepLast)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed entry is durable.
@@ -71,8 +81,12 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// Latest loads the highest-epoch checkpoint, or (nil, nil) when the
-// store is empty.
+// Latest loads the newest *readable* checkpoint, or (nil, nil) when
+// the store is empty. A corrupt newest file — e.g. a snapshot torn by
+// a power cut on a filesystem without the rename guarantees Save
+// assumes — is skipped in favour of the next older one; only when every
+// checkpoint is unreadable does Latest report an error (the newest
+// file's, as the most likely to matter).
 func (s *CheckpointStore) Latest() (*Checkpoint, error) {
 	names, err := s.list()
 	if err != nil {
@@ -81,7 +95,21 @@ func (s *CheckpointStore) Latest() (*Checkpoint, error) {
 	if len(names) == 0 {
 		return nil, nil
 	}
-	f, err := os.Open(filepath.Join(s.dir, names[len(names)-1]))
+	var firstErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		cp, err := s.load(names[i])
+		if err == nil {
+			return cp, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: checkpoint %s: %w", names[i], err)
+		}
+	}
+	return nil, firstErr
+}
+
+func (s *CheckpointStore) load(name string) (*Checkpoint, error) {
+	f, err := os.Open(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"socflow/internal/cluster"
 	"socflow/internal/dataset"
@@ -52,6 +53,28 @@ type Job struct {
 	// sim.* counters and gauges. Nil disables instrumentation at zero
 	// cost (every metrics method is a no-op on nil receivers).
 	Metrics *metrics.Registry
+	// Checkpoints, when non-nil, receives periodic automatic
+	// checkpoints from the strategy at epoch boundaries; pair it with
+	// the store's KeepLast retention so long campaigns cannot fill the
+	// disk.
+	Checkpoints *CheckpointStore
+	// CheckpointEvery is the epoch stride between automatic
+	// checkpoints (<=1 checkpoints every epoch when Checkpoints is
+	// set). The final epoch is always checkpointed.
+	CheckpointEvery int
+	// MaxEpochRetries bounds how many times a failed epoch is re-run
+	// from its start-of-epoch snapshot before the run aborts (0
+	// disables retrying: any epoch failure is fatal).
+	MaxEpochRetries int
+	// RetryBackoff is the base pause before re-running a failed epoch;
+	// attempt k waits k*RetryBackoff.
+	RetryBackoff time.Duration
+	// EpochFault, when non-nil, is consulted after each epoch attempt
+	// with the 0-based epoch and attempt number; a non-nil return
+	// marks the attempt failed. It exists to inject failures —
+	// preempted windows, flaky storage — into the retry machinery;
+	// non-finite weights are detected as failures regardless.
+	EpochFault func(epoch, attempt int) error
 }
 
 // epochEnd is the funnel every strategy reports epochs through: it
@@ -152,6 +175,9 @@ type Result struct {
 	// model's tensors (populated by SoCFlow.Run), so callers — notably
 	// the multi-night Campaign — can checkpoint and warm-start.
 	FinalWeights, FinalState []*tensor.Tensor
+	// EpochRetries counts epoch re-runs taken from start-of-epoch
+	// snapshots after detected failures (Job.MaxEpochRetries budget).
+	EpochRetries int
 }
 
 // observe appends an epoch observation and handles target bookkeeping.

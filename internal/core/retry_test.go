@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A single injected epoch failure is retried from the start-of-epoch
+// snapshot, and the deterministic replay (same shards, same iterator
+// seeds) makes the recovered run converge identically to a clean one.
+func TestSoCFlowRetriesFailedEpoch(t *testing.T) {
+	mk := func() *Job {
+		j := testJob(t, 240, 4)
+		j.MaxEpochRetries = 2
+		j.RetryBackoff = time.Millisecond
+		return j
+	}
+	clean, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), mk(), clu32())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job := mk()
+	injected := errors.New("window preempted")
+	job.EpochFault = func(epoch, attempt int) error {
+		if epoch == 1 && attempt == 0 {
+			return injected
+		}
+		return nil
+	}
+	res, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochRetries != 1 {
+		t.Fatalf("EpochRetries = %d, want 1", res.EpochRetries)
+	}
+	if len(res.EpochAccuracies) != len(clean.EpochAccuracies) {
+		t.Fatalf("retried run produced %d epochs, clean %d", len(res.EpochAccuracies), len(clean.EpochAccuracies))
+	}
+	for e := range clean.EpochAccuracies {
+		if res.EpochAccuracies[e] != clean.EpochAccuracies[e] {
+			t.Fatalf("epoch %d accuracy diverged after retry: %v vs clean %v",
+				e, res.EpochAccuracies[e], clean.EpochAccuracies[e])
+		}
+	}
+	if res.SimSeconds <= clean.SimSeconds {
+		t.Fatalf("the failed attempt's simulated time must still be paid: %v <= %v",
+			res.SimSeconds, clean.SimSeconds)
+	}
+}
+
+// An epoch that fails every attempt exhausts MaxEpochRetries and
+// aborts the run with an error naming the epoch and attempt count.
+func TestSoCFlowRetryBudgetExhausted(t *testing.T) {
+	job := testJob(t, 240, 4)
+	job.MaxEpochRetries = 1
+	job.EpochFault = func(epoch, attempt int) error {
+		if epoch == 1 {
+			return errors.New("storage flaked")
+		}
+		return nil
+	}
+	_, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32())
+	if err == nil {
+		t.Fatal("exhausted epoch retry budget must fail the run")
+	}
+	if !strings.Contains(err.Error(), "epoch 1 failed after 2 attempts") {
+		t.Fatalf("error must name the epoch and attempts, got: %v", err)
+	}
+}
+
+// With MaxEpochRetries unset, retrying is disabled: the first epoch
+// failure is immediately fatal rather than replayed.
+func TestSoCFlowRetryDisabledByDefault(t *testing.T) {
+	job := testJob(t, 240, 2)
+	attempts := 0
+	job.EpochFault = func(epoch, attempt int) error {
+		if epoch == 0 {
+			attempts++
+			return errors.New("flake")
+		}
+		return nil
+	}
+	_, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32())
+	if err == nil {
+		t.Fatal("epoch failure with retries disabled must be fatal")
+	}
+	if attempts != 1 {
+		t.Fatalf("epoch 0 was attempted %d times, want exactly 1 (no retry)", attempts)
+	}
+	if !strings.Contains(err.Error(), "epoch 0 failed after 1 attempts") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Auto-checkpointing writes on the configured stride plus the final
+// epoch, and composes with KeepLast retention.
+func TestSoCFlowAutoCheckpoint(t *testing.T) {
+	store, err := NewCheckpointStore(filepath.Join(t.TempDir(), "auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.KeepLast = 2
+	job := testJob(t, 240, 5)
+	job.Checkpoints = store
+	job.CheckpointEvery = 2
+	if _, err := (&SoCFlow{NumGroups: 4, Mixed: MixedOff}).Run(context.Background(), job, clu32()); err != nil {
+		t.Fatal(err)
+	}
+	// Stride 2 over 5 epochs checkpoints after epochs 2, 4, and 5
+	// (final); retention keeps the newest two.
+	names, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("retention left %d files: %v", len(names), names)
+	}
+	cp, err := store.Latest()
+	if err != nil || cp == nil {
+		t.Fatalf("no latest auto-checkpoint: %v", err)
+	}
+	if cp.Epoch != 5 {
+		t.Fatalf("latest auto-checkpoint epoch = %d, want 5", cp.Epoch)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"socflow/internal/cluster"
 	"socflow/internal/collective"
 	"socflow/internal/dataset"
+	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/parallel"
 	"socflow/internal/tensor"
@@ -135,6 +137,19 @@ func (g *groupTrainer) evalModel() *nn.Sequential {
 	return g.model
 }
 
+// retryState is the full state an epoch retry must roll back:
+// batch-norm running statistics plus the optimizer's live momentum
+// buffers. Without the velocities, a replayed epoch would restart SGD
+// momentum from zero and diverge from the attempt a clean run would
+// have made.
+func (g *groupTrainer) retryState() []*tensor.Tensor {
+	st := append([]*tensor.Tensor{}, g.state()...)
+	if g.mp != nil {
+		return append(st, g.mp.cpuOpt.VelocityTensors(g.mp.FP32.Params())...)
+	}
+	return append(st, g.opt.VelocityTensors(g.model.Params())...)
+}
+
 // Run implements Strategy.
 func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Result, error) {
 	if err := job.Validate(); err != nil {
@@ -209,6 +224,13 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 		gt.it = dataset.NewBatchIterator(gt.shard, job.GlobalBatch, job.Seed+100+uint64(g))
 		groups[g] = gt
 	}
+	// Batch-order seed each group's iterator was built with, entering
+	// the current epoch; a retry rebuilds the iterator from it so the
+	// re-run replays the identical batches.
+	iterSeeds := make([]uint64, n)
+	for g := range iterSeeds {
+		iterSeeds[g] = job.Seed + 100 + uint64(g)
+	}
 
 	res := &Result{Strategy: s.Name()}
 	meter := cluster.NewEnergyMeter(m)
@@ -236,59 +258,119 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 			}
 		}
 
-		// Functional training: each active group walks its shard once.
-		// Groups only interact at epoch-end aggregation — each owns its
-		// model, optimizer, iterator, and RNG — so whole per-group epochs
-		// run concurrently, mirroring the real cluster where logical
-		// groups train simultaneously on disjoint SoCs. Per-group math is
-		// unchanged from the sequential interleaved order, so seeded
-		// results are bit-identical at every parallelism level.
-		iters := groups[active[0]].it.BatchesPerEpoch()
-		parallel.Do(len(active), func(ai int) {
-			gt := groups[active[ai]]
-			for i := 0; i < iters; i++ {
-				if ctx.Err() != nil {
-					return
-				}
-				x, labels := gt.it.Next()
-				if gt.mp != nil {
-					gt.mp.Step(x, labels)
-				} else {
-					plainStep(gt.model, gt.opt, x, labels)
-				}
-			}
-		})
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-
-		// Performance track first: the epoch must be priced with the α
-		// that governed its data split, before EndEpoch refreshes it.
-		epochTime := tl.epochTime(groups, active, meter)
-
-		// End of the intra-group epoch: refresh α from the replicas'
-		// divergence and merge them per Eq. 5 (§3.2).
-		for _, g := range active {
-			if groups[g].mp != nil {
-				groups[g].mp.EndEpoch(job.Val, probeBatch)
+		// Start-of-epoch snapshots back the bounded retry: if the epoch
+		// fails (injected fault or non-finite weights), every group
+		// rolls back and replays the identical batches.
+		var snaps []*Checkpoint
+		if job.MaxEpochRetries > 0 {
+			snaps = make([]*Checkpoint, n)
+			for g := range groups {
+				snaps[g] = TakeCheckpoint(epoch, groups[g].weights(), groups[g].retryState())
 			}
 		}
 
-		// Delayed aggregation across groups (per epoch): average the
-		// merged weights, then requantize the INT8 replicas.
-		if len(active) > 1 {
-			sets := make([][]*tensor.Tensor, 0, len(active))
-			states := make([][]*tensor.Tensor, 0, len(active))
-			for _, g := range active {
-				sets = append(sets, groups[g].weights())
-				states = append(states, groups[g].state())
+		var epochTime float64
+		for attempt := 0; ; attempt++ {
+			// Functional training: each active group walks its shard once.
+			// Groups only interact at epoch-end aggregation — each owns its
+			// model, optimizer, iterator, and RNG — so whole per-group epochs
+			// run concurrently, mirroring the real cluster where logical
+			// groups train simultaneously on disjoint SoCs. Per-group math is
+			// unchanged from the sequential interleaved order, so seeded
+			// results are bit-identical at every parallelism level.
+			iters := groups[active[0]].it.BatchesPerEpoch()
+			parallel.Do(len(active), func(ai int) {
+				gt := groups[active[ai]]
+				for i := 0; i < iters; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					x, labels := gt.it.Next()
+					if gt.mp != nil {
+						gt.mp.Step(x, labels)
+					} else {
+						plainStep(gt.model, gt.opt, x, labels)
+					}
+				}
+			})
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			collective.AverageInPlace(sets)
-			collective.AverageInPlace(states)
+
+			// Performance track first: the epoch must be priced with the α
+			// that governed its data split, before EndEpoch refreshes it.
+			// Failed attempts accumulate too — retried work costs real
+			// simulated time and energy.
+			epochTime += tl.epochTime(groups, active, meter)
+
+			// End of the intra-group epoch: refresh α from the replicas'
+			// divergence and merge them per Eq. 5 (§3.2).
 			for _, g := range active {
 				if groups[g].mp != nil {
+					groups[g].mp.EndEpoch(job.Val, probeBatch)
+				}
+			}
+
+			// Delayed aggregation across groups (per epoch): average the
+			// merged weights, then requantize the INT8 replicas.
+			if len(active) > 1 {
+				sets := make([][]*tensor.Tensor, 0, len(active))
+				states := make([][]*tensor.Tensor, 0, len(active))
+				for _, g := range active {
+					sets = append(sets, groups[g].weights())
+					states = append(states, groups[g].state())
+				}
+				collective.AverageInPlace(sets)
+				collective.AverageInPlace(states)
+				for _, g := range active {
+					if groups[g].mp != nil {
+						groups[g].mp.AdoptMerged()
+					}
+				}
+			}
+
+			failure := epochFailure(job, groups, active, epoch, attempt)
+			if failure == nil {
+				break
+			}
+			if attempt >= job.MaxEpochRetries {
+				return nil, fmt.Errorf("core: epoch %d failed after %d attempts: %w", epoch, attempt+1, failure)
+			}
+			res.EpochRetries++
+			job.Metrics.Counter("core.epoch.retries").Inc()
+			job.Metrics.Emit(metrics.Event{Kind: metrics.KindRetry, Epoch: epoch, Iter: attempt + 1, Detail: failure.Error()})
+			for g := range groups {
+				snaps[g].Restore(groups[g].weights(), groups[g].retryState())
+				if groups[g].mp != nil {
+					// Requantize the INT8 replica from the restored FP32
+					// weights; the integer side carries no momentum.
 					groups[g].mp.AdoptMerged()
 				}
+				groups[g].it = dataset.NewBatchIterator(groups[g].shard, job.GlobalBatch, iterSeeds[g])
+			}
+			if job.RetryBackoff > 0 {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(time.Duration(attempt+1) * job.RetryBackoff):
+				}
+			}
+		}
+
+		// Periodic auto-checkpointing: the aggregated weights land in
+		// the store on the configured stride, atomically and (with
+		// KeepLast) with bounded retention.
+		if job.Checkpoints != nil {
+			every := job.CheckpointEvery
+			if every <= 0 {
+				every = 1
+			}
+			if (epoch+1)%every == 0 || epoch == job.Epochs-1 {
+				cp := &Checkpoint{Epoch: epoch + 1, Weights: groups[active[0]].weights(), State: groups[active[0]].state()}
+				if err := job.Checkpoints.Save(cp); err != nil {
+					return nil, fmt.Errorf("core: auto-checkpoint at epoch %d: %w", epoch, err)
+				}
+				job.Metrics.Counter("core.checkpoints.saved").Inc()
 			}
 		}
 
@@ -301,7 +383,8 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 			fresh := dataset.Reshuffle(all, job.Seed+1000+uint64(epoch))
 			for g := range groups {
 				groups[g].shard = fresh[g]
-				groups[g].it = dataset.NewBatchIterator(fresh[g], job.GlobalBatch, job.Seed+2000+uint64(epoch)*uint64(n)+uint64(g))
+				iterSeeds[g] = job.Seed + 2000 + uint64(epoch)*uint64(n) + uint64(g)
+				groups[g].it = dataset.NewBatchIterator(fresh[g], job.GlobalBatch, iterSeeds[g])
 			}
 		}
 
@@ -346,6 +429,34 @@ func (s *SoCFlow) activeGroups(n, epoch int, res *Result) []int {
 		out = append(out, 0)
 	}
 	return out
+}
+
+// epochFailure decides whether an epoch attempt failed: the injected
+// fault hook fires first, then a cheap non-finite sweep over the active
+// groups' weights catches numerically exploded attempts. The sweep only
+// runs when the retry machinery is in use, so the default path pays
+// nothing.
+func epochFailure(job *Job, groups []*groupTrainer, active []int, epoch, attempt int) error {
+	if job.EpochFault != nil {
+		if err := job.EpochFault(epoch, attempt); err != nil {
+			return err
+		}
+	}
+	if job.MaxEpochRetries <= 0 {
+		return nil
+	}
+	for _, g := range active {
+		var sum float64
+		for _, w := range groups[g].weights() {
+			for _, v := range w.Data {
+				sum += float64(v)
+			}
+		}
+		if math.IsNaN(sum) || math.IsInf(sum, 0) {
+			return fmt.Errorf("core: group %d weights non-finite after epoch %d", g, epoch)
+		}
+	}
+	return nil
 }
 
 // plainStep runs a standard FP32 SGD step.

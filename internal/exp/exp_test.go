@@ -501,6 +501,45 @@ func TestExpPreemptionGroupLevelWins(t *testing.T) {
 	}
 }
 
+func TestExpElasticRecoversWithinBounds(t *testing.T) {
+	o := fastOpts()
+	o.Epochs = 6
+	o.TrainSamples = 320
+	o.ValSamples = 80
+	tb, err := ExpElastic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	// The membership column must dip during the preemption window and
+	// recover to full strength by the final epoch.
+	dipped := false
+	for _, row := range tb.Rows {
+		if cellFloat(t, row[1]) < 6 {
+			dipped = true
+		}
+	}
+	if !dipped {
+		t.Fatal("no epoch ran degraded; the preemption window never fired")
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if m := cellFloat(t, last[1]); m != 6 {
+		t.Fatalf("final epoch ran with %v members, want full membership restored", m)
+	}
+	// Acceptance bound: final accuracy within 2 points of fault-free.
+	delta := cellFloat(t, last[3]) - cellFloat(t, last[2])
+	if delta < -2 || delta > 2 {
+		t.Fatalf("final accuracy delta %v points, want within 2", delta)
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("acceptance warning in notes: %q", n)
+		}
+	}
+}
+
 func TestExpFaultsDegradesGracefully(t *testing.T) {
 	o := fastOpts()
 	o.Epochs = 4

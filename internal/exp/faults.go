@@ -58,13 +58,20 @@ func ExpFaults(o Options) (*Table, error) {
 		{"2 crashes", transport.RandomCrashPlan(o.Seed+11, socs, epochs, 2)},
 	}
 	// Tidal schedule: a session starting at the trough's edge loses
-	// SoCs as the morning traffic returns. Cap the kill count so the
-	// run always keeps a survivor.
+	// SoCs as the morning traffic returns. The degraded track cannot
+	// re-admit a node (that is the elastic experiment's job), so each
+	// SoC's first episode becomes a permanent crash, and the kill count
+	// is capped so the run always keeps a survivor.
 	tidal := &transport.FaultPlan{}
+	crashed := map[int]bool{}
 	for _, ev := range cluster.DefaultTidalTrace().PreemptionEvents(socs, epochs, 6.5, 0.5, o.Seed+13) {
+		if crashed[ev.SoC] {
+			continue
+		}
 		if tidal.Crashes() >= socs-1 {
 			break
 		}
+		crashed[ev.SoC] = true
 		tidal.Events = append(tidal.Events, transport.FaultEvent{Kind: transport.FaultCrash, Node: ev.SoC, Epoch: ev.Epoch})
 	}
 	rows = append(rows, row{"tidal", tidal})

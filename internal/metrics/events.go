@@ -14,6 +14,15 @@ const (
 	// KindWorkerError fires when a distributed worker fails and trips
 	// the first-error teardown.
 	KindWorkerError = "worker-error"
+	// KindDetect fires when the heartbeat failure detector declares a
+	// worker dead (Node is the dead worker, Epoch the round it left).
+	KindDetect = "detect"
+	// KindRejoin fires when a previously dead worker is re-admitted
+	// (Node is the rejoiner, Epoch the round it re-entered at).
+	KindRejoin = "rejoin"
+	// KindRetry fires when the recovery manager re-runs a failed epoch
+	// from the last good state (Iter carries the attempt number).
+	KindRetry = "retry"
 )
 
 // Event is one notification on the registry's event stream. Not every

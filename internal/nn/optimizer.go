@@ -51,6 +51,24 @@ func (o *SGD) Step(params []*Param) {
 // from synchronized weights.
 func (o *SGD) Reset() { o.velocity = make(map[*Param]*tensor.Tensor) }
 
+// VelocityTensors returns the momentum buffers aligned with params,
+// allocating zeroed buffers for parameters that have not been stepped
+// yet. The returned tensors are the optimizer's live state: callers
+// may clone them to checkpoint the optimizer, or copy into them to
+// restore it next to the weights it was trained with.
+func (o *SGD) VelocityTensors(params []*Param) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			o.velocity[p] = v
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // LRSchedule maps an epoch index to a learning rate.
 type LRSchedule interface {
 	LR(epoch int) float32

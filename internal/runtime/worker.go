@@ -39,6 +39,24 @@ type DistConfig struct {
 	// accuracy through ObserveEpoch (with simulated time 0 — the
 	// distributed track runs on real time only).
 	Metrics *metrics.Registry
+	// Recovery, when non-nil, switches the run onto the elastic track:
+	// the mesh is stacked with transport.WithHeartbeat so failure is
+	// *detected* by missed-beat timeout rather than derived from the
+	// shared plan, a recovery manager supervises the workers in
+	// barrier-delimited rounds, failed epochs retry from in-memory
+	// snapshots under a bounded budget, and nodes listed in
+	// Recovery.Rejoins are re-admitted with a leader-served state
+	// transfer. DegradeOnFault is ignored on this track — degradation
+	// emerges from detection, not plan consultation.
+	Recovery *RecoveryConfig
+	// Checkpoints, when non-nil, receives periodic automatic
+	// checkpoints written by the global leader at epoch boundaries
+	// (elastic track only).
+	Checkpoints *core.CheckpointStore
+	// CheckpointEvery is the epoch stride between automatic
+	// checkpoints; <=1 checkpoints every epoch. The final epoch is
+	// always checkpointed.
+	CheckpointEvery int
 	// DegradeOnFault selects what an injected crash does to the run.
 	// False (default): the crash is fatal — the first failing worker
 	// tears the mesh down, every peer unwinds, and RunDistributed
@@ -88,6 +106,9 @@ type DistResult struct {
 	EpochAccuracies []float64
 	// Final is the fully aggregated model after the last epoch.
 	Final *nn.Sequential
+	// Recovery carries the elastic track's counters (detections,
+	// rejoins, retries, state-transfer bytes); nil on the plain track.
+	Recovery *RecoveryStats
 }
 
 // RunDistributed executes SoCFlow's group-wise protocol for real: one
@@ -131,6 +152,12 @@ func RunDistributed(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, tra
 	}
 	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
 		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
+	}
+	if cfg.Recovery != nil {
+		// Elastic track: no survivor precheck — liveness is discovered
+		// at runtime by the failure detector, and preempted nodes may
+		// come back.
+		return runElastic(ctx, mesh, spec, train, val, cfg, nodeGroup)
 	}
 	if cfg.degraded() {
 		if ldrs, _ := cfg.epochLeaders(cfg.Epochs - 1); len(ldrs) == 0 {

@@ -38,11 +38,13 @@ const IterEpochEnd = 1<<31 - 1
 type FaultKind uint8
 
 const (
-	// FaultCrash permanently kills a node from its trigger point on:
-	// every later Send/Recv by the node fails with ErrInjectedCrash.
+	// FaultCrash kills a node from its trigger point on: every later
+	// Send/Recv by the node fails with ErrInjectedCrash. A crash with
+	// an Until point clears there — the node's endpoint works again —
+	// modelling a preemption window instead of a permanent loss.
 	FaultCrash FaultKind = iota
-	// FaultLinkDrop permanently severs the directed link Node->Peer
-	// from the trigger point on.
+	// FaultLinkDrop severs the directed link Node->Peer from the
+	// trigger point on (optionally until the event's Until point).
 	FaultLinkDrop
 	// FaultStraggle delays each of the node's sends by Delay during
 	// exactly the trigger iteration — a transient slow SoC.
@@ -73,8 +75,28 @@ type FaultEvent struct {
 	// events are in effect at every point >= (Epoch, Iter) in
 	// lexicographic order; straggle fires only at exactly that point.
 	Epoch, Iter int
+	// UntilEpoch and UntilIter optionally bound a crash or link drop:
+	// the fault is active on [(Epoch,Iter), (UntilEpoch,UntilIter)) and
+	// clears at the until point — a preempted SoC handed back when the
+	// co-located user traffic ebbs. Both zero means the fault is
+	// permanent, which keeps every pre-existing plan's semantics.
+	UntilEpoch, UntilIter int
 	// Delay is the injected per-send latency of a straggle event.
 	Delay time.Duration
+}
+
+// activeAt reports whether a crash/link-drop event is in effect at the
+// clock point now.
+func (ev *FaultEvent) activeAt(now uint64) bool {
+	if point(ev.Epoch, ev.Iter) > now {
+		return false
+	}
+	if ev.UntilEpoch != 0 || ev.UntilIter != 0 {
+		if point(ev.UntilEpoch, ev.UntilIter) <= now {
+			return false
+		}
+	}
+	return true
 }
 
 // FaultPlan is an immutable, shared fault script. A nil plan injects
@@ -128,11 +150,41 @@ func (p *FaultPlan) CrashPoint(node int) (epoch, iter int, ok bool) {
 	return epoch, iter, ok
 }
 
-// CrashedAt reports whether the node's crash point is at or before
-// (epoch, iter).
+// CrashedAt reports whether the node is down at (epoch, iter): some
+// crash event's window covers the point. Permanent crashes (no until
+// point) cover everything from their trigger on.
 func (p *FaultPlan) CrashedAt(node, epoch, iter int) bool {
-	e, i, ok := p.CrashPoint(node)
-	return ok && point(e, i) <= point(epoch, iter)
+	if p == nil {
+		return false
+	}
+	now := point(epoch, iter)
+	for i := range p.Events {
+		ev := &p.Events[i]
+		if ev.Kind == FaultCrash && ev.Node == node && ev.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashWindow returns the earliest crash event for a node, with its
+// until point (ok=false for nodes the plan never crashes; until ok
+// only for bounded, recoverable crashes).
+func (p *FaultPlan) CrashWindow(node int) (ev FaultEvent, ok bool) {
+	if p == nil {
+		return FaultEvent{}, false
+	}
+	best := uint64(0)
+	for _, e := range p.Events {
+		if e.Kind != FaultCrash || e.Node != node {
+			continue
+		}
+		pt := point(e.Epoch, e.Iter)
+		if !ok || pt < best {
+			best, ev, ok = pt, e, true
+		}
+	}
+	return ev, ok
 }
 
 // Live filters members down to the nodes not crashed at (epoch, iter),
@@ -219,14 +271,15 @@ func (n *faultyNode) Send(to int, payload []byte) error {
 	epoch, iter := n.at()
 	id := n.ID()
 	now := point(epoch, iter)
-	for _, ev := range n.plan.Events {
+	for i := range n.plan.Events {
+		ev := &n.plan.Events[i]
 		switch ev.Kind {
 		case FaultCrash:
-			if ev.Node == id && point(ev.Epoch, ev.Iter) <= now {
+			if ev.Node == id && ev.activeAt(now) {
 				return fmt.Errorf("%w: node %d at epoch %d iter %d", ErrInjectedCrash, id, ev.Epoch, ev.Iter)
 			}
 		case FaultLinkDrop:
-			if ev.Node == id && ev.Peer == to && point(ev.Epoch, ev.Iter) <= now {
+			if ev.Node == id && ev.Peer == to && ev.activeAt(now) {
 				return fmt.Errorf("%w: link %d->%d at epoch %d iter %d", ErrInjectedLinkDrop, id, to, ev.Epoch, ev.Iter)
 			}
 		case FaultStraggle:
@@ -242,14 +295,15 @@ func (n *faultyNode) Recv(from int) ([]byte, error) {
 	epoch, iter := n.at()
 	id := n.ID()
 	now := point(epoch, iter)
-	for _, ev := range n.plan.Events {
+	for i := range n.plan.Events {
+		ev := &n.plan.Events[i]
 		switch ev.Kind {
 		case FaultCrash:
-			if ev.Node == id && point(ev.Epoch, ev.Iter) <= now {
+			if ev.Node == id && ev.activeAt(now) {
 				return nil, fmt.Errorf("%w: node %d at epoch %d iter %d", ErrInjectedCrash, id, ev.Epoch, ev.Iter)
 			}
 		case FaultLinkDrop:
-			if ev.Node == from && ev.Peer == id && point(ev.Epoch, ev.Iter) <= now {
+			if ev.Node == from && ev.Peer == id && ev.activeAt(now) {
 				return nil, fmt.Errorf("%w: link %d->%d at epoch %d iter %d", ErrInjectedLinkDrop, from, id, ev.Epoch, ev.Iter)
 			}
 		}

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"socflow/internal/metrics"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	plan := &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Node: 2, Epoch: 0, Iter: 0}}}
+	hb := WithHeartbeat(WithFaults(NewChanMesh(3), plan), 2*time.Millisecond, 40*time.Millisecond, nil)
+	defer hb.Close()
+
+	// Trip node 2's fault clock: from here on its endpoint — beats
+	// included — fails, and the only evidence peers get is silence.
+	for i := 0; i < 3; i++ {
+		hb.Node(i).(FaultTicker).TickFault(0, 0)
+	}
+	waitFor(t, 2*time.Second, func() bool { return !hb.Alive(2) }, "node 2 declared dead")
+	if !hb.Alive(0) || !hb.Alive(1) {
+		t.Fatalf("live nodes misjudged: alive(0)=%v alive(1)=%v", hb.Alive(0), hb.Alive(1))
+	}
+}
+
+func TestHeartbeatDataRoundtripAndGenerationFencing(t *testing.T) {
+	hb := WithHeartbeat(NewChanMesh(2), time.Millisecond, 50*time.Millisecond, nil)
+	defer hb.Close()
+
+	n0, n1 := hb.Node(0), hb.Node(1)
+	if err := n0.Send(1, []byte("gen0-stale")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	hb.SetGeneration(0, 1)
+	hb.SetGeneration(1, 1)
+	if err := n0.Send(1, []byte("gen1-fresh")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := n1.Recv(0)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(got) != "gen1-fresh" {
+		t.Fatalf("recv got %q, want the gen-1 frame (gen-0 must be fenced out)", got)
+	}
+}
+
+// Satellite regression: a Recv parked on a peer that died mid-handshake
+// (never sent a byte) must unblock on mesh close with ErrMeshClosed,
+// not hang forever.
+func TestHeartbeatRecvUnblocksOnMeshClose(t *testing.T) {
+	hb := WithHeartbeat(NewChanMesh(2), time.Millisecond, 50*time.Millisecond, nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := hb.Node(0).Recv(1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Recv park
+	hb.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrMeshClosed) {
+			t.Fatalf("Recv returned %v, want ErrMeshClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after mesh close")
+	}
+}
+
+func TestHeartbeatInterruptResume(t *testing.T) {
+	hb := WithHeartbeat(NewChanMesh(2), time.Millisecond, 50*time.Millisecond, nil)
+	defer hb.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := hb.Node(0).Recv(1)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	hb.Interrupt(0, ErrRoundAborted)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrRoundAborted) {
+			t.Fatalf("interrupted Recv returned %v, want ErrRoundAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv ignored the interrupt")
+	}
+	if err := hb.Node(0).Send(1, []byte("x")); !errors.Is(err, ErrRoundAborted) {
+		t.Fatalf("interrupted Send returned %v, want ErrRoundAborted", err)
+	}
+
+	hb.Resume(0)
+	if err := hb.Node(1).Send(0, []byte("after-resume")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := hb.Node(0).Recv(1)
+	if err != nil || string(got) != "after-resume" {
+		t.Fatalf("post-resume recv = %q, %v", got, err)
+	}
+}
+
+func TestHeartbeatDeadPeerFastFail(t *testing.T) {
+	hb := WithHeartbeat(NewChanMesh(2), time.Millisecond, 50*time.Millisecond, nil)
+	defer hb.Close()
+
+	hb.MarkDead(1)
+	if err := hb.Node(0).Send(1, []byte("x")); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("Send to dead peer returned %v, want ErrPeerDead", err)
+	}
+	if _, err := hb.Node(0).Recv(1); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("Recv from dead peer returned %v, want ErrPeerDead", err)
+	}
+}
+
+// A bounded crash window plus MarkAlive/ResetStreams re-admits a node:
+// its endpoint works again and fresh data flows end to end.
+func TestHeartbeatRejoinAfterCrashWindow(t *testing.T) {
+	plan := &FaultPlan{Events: []FaultEvent{
+		{Kind: FaultCrash, Node: 1, Epoch: 1, Iter: 0, UntilEpoch: 3, UntilIter: 0},
+	}}
+	hb := WithHeartbeat(WithFaults(NewChanMesh(2), plan), 2*time.Millisecond, 40*time.Millisecond, nil)
+	defer hb.Close()
+
+	// Enter the crash window and let the detector see the silence.
+	for i := 0; i < 2; i++ {
+		hb.Node(i).(FaultTicker).TickFault(1, 0)
+	}
+	if err := hb.Node(1).Send(0, []byte("x")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crashed node Send returned %v, want ErrInjectedCrash", err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return !hb.Alive(1) }, "node 1 declared dead")
+	hb.MarkDead(1)
+
+	// The preemption window ends: tick past Until, re-admit, reset.
+	for i := 0; i < 2; i++ {
+		hb.Node(i).(FaultTicker).TickFault(3, 0)
+	}
+	hb.MarkAlive(1)
+	hb.ResetStreams(1)
+	hb.SetGeneration(0, 7)
+	hb.SetGeneration(1, 7)
+
+	if err := hb.Node(0).Send(1, []byte("state-transfer")); err != nil {
+		t.Fatalf("send to rejoined node: %v", err)
+	}
+	got, err := hb.Node(1).Recv(0)
+	if err != nil || string(got) != "state-transfer" {
+		t.Fatalf("rejoined recv = %q, %v", got, err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return hb.Alive(1) }, "node 1 beating again")
+}
+
+// Control-plane traffic lands in transport.control.*, while a metered
+// mesh stacked outside the heartbeat layer keeps counting pure
+// data-plane payload bytes.
+func TestHeartbeatControlPlaneCountersSeparate(t *testing.T) {
+	reg := metrics.New()
+	hb := WithHeartbeat(NewChanMesh(2), time.Millisecond, 50*time.Millisecond, reg)
+	top := WithMetrics(hb, reg)
+	defer top.Close()
+
+	payload := []byte("0123456789")
+	if err := top.Node(0).Send(1, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got, err := top.Node(1).Recv(0); err != nil || len(got) != len(payload) {
+		t.Fatalf("recv = %d bytes, %v", len(got), err)
+	}
+
+	if got := reg.Counter("transport.sent.bytes").Value(); got != int64(len(payload)) {
+		t.Fatalf("data-plane sent bytes = %d, want %d (beats and headers must not leak in)", got, len(payload))
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return reg.Counter("transport.control.sent.msgs").Value() > 0 &&
+			reg.Counter("transport.control.recv.msgs").Value() > 0
+	}, "control-plane counters to move")
+}

@@ -14,6 +14,15 @@ import (
 // move no bytes) stay uncounted while straggler-delayed traffic still
 // meters; metered nodes forward TickFault to the inner node, so either
 // nesting order keeps fault clocks ticking.
+//
+// Control-plane vs. data-plane accounting: the heartbeat layer tags
+// its own traffic into the transport.control.sent/recv.{bytes,msgs}
+// counters (see WithHeartbeat). Stacking this decorator *outside* a
+// HeartbeatMesh — WithMetrics(WithHeartbeat(...)) — therefore keeps
+// transport.sent/recv.* measuring pure data-plane gradient payloads:
+// beats never pass through the outer metered endpoints, and the
+// per-frame tag/generation header the heartbeat layer adds is counted
+// by neither side's data counters.
 func WithMetrics(m Mesh, reg *metrics.Registry) Mesh {
 	if reg == nil {
 		return m

@@ -4,15 +4,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"time"
 
+	"socflow/internal/core"
 	"socflow/internal/metrics"
 	"socflow/internal/parallel"
 )
 
-// Option tunes how a run executes without changing what it computes:
-// host parallelism, tracing, logging, metrics collection. Options never
+// Option tunes how a run executes without changing what a fault-free
+// run computes: host parallelism, tracing, logging, metrics
+// collection, and the elastic-recovery knobs (heartbeat detection,
+// retry budget, auto-checkpointing). Absent failures, options never
 // affect EpochAccuracies or SimSeconds — see DESIGN.md's "host
-// parallelism vs. simulated concurrency".
+// parallelism vs. simulated concurrency" and §12 "Recovery model".
 type Option func(*runOptions)
 
 type runOptions struct {
@@ -20,6 +24,14 @@ type runOptions struct {
 	trace       io.Writer
 	logger      *log.Logger
 	metrics     *metrics.Registry
+
+	// Elastic recovery (see DESIGN.md §12).
+	hbInterval, hbTimeout time.Duration
+	recovery              bool
+	maxRetries            int
+	retryBackoff          time.Duration
+	checkpointEvery       int
+	checkpointDir         string
 }
 
 // WithParallelism caps the worker pool at n OS threads for the
@@ -55,6 +67,48 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(o *runOptions) { o.metrics = reg }
 }
 
+// WithHeartbeat tunes the distributed engine's failure detector: every
+// worker beats every peer each interval, and a peer silent for timeout
+// is declared dead from observed evidence (no shared fault plan).
+// Setting it enables the elastic recovery track on RunDistributed —
+// detected crashes degrade the group, scheduled returns rejoin with a
+// leader-served state transfer. Keep timeout tens of intervals wide so
+// scheduler hiccups are not declared deaths. Ignored by Run, whose
+// simulated track has no transport to monitor.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(o *runOptions) {
+		o.recovery = true
+		o.hbInterval, o.hbTimeout = interval, timeout
+	}
+}
+
+// WithRecovery bounds how failures are absorbed: a failed epoch is
+// retried from its start-of-epoch snapshot at most maxRetries times,
+// waiting k*backoff before attempt k. On RunDistributed it enables the
+// elastic track (heartbeat detection at default knobs unless
+// WithHeartbeat is also given); on Run it arms the strategy's epoch
+// retry machinery (Job.MaxEpochRetries). Zero maxRetries keeps
+// failures fatal.
+func WithRecovery(maxRetries int, backoff time.Duration) Option {
+	return func(o *runOptions) {
+		o.recovery = true
+		o.maxRetries = maxRetries
+		o.retryBackoff = backoff
+	}
+}
+
+// WithCheckpointEvery saves an automatic checkpoint into dir every n
+// epochs (and always after the final epoch), with retention bounded to
+// the newest few files so long campaigns cannot fill the disk. Resume
+// by loading the store's Latest(). Applies to both Run and
+// RunDistributed.
+func WithCheckpointEvery(n int, dir string) Option {
+	return func(o *runOptions) {
+		o.checkpointEvery = n
+		o.checkpointDir = dir
+	}
+}
+
 func gatherOptions(opts []Option) runOptions {
 	var o runOptions
 	for _, opt := range opts {
@@ -71,6 +125,21 @@ func (o *runOptions) apply() (restore func()) {
 		return func() { parallel.Set(prev) }
 	}
 	return func() {}
+}
+
+// checkpointStore opens the auto-checkpoint store requested by
+// WithCheckpointEvery, with retention bounded to the newest three
+// files (nil when the option was not given).
+func (o *runOptions) checkpointStore() (*core.CheckpointStore, error) {
+	if o.checkpointDir == "" {
+		return nil, nil
+	}
+	store, err := core.NewCheckpointStore(o.checkpointDir)
+	if err != nil {
+		return nil, err
+	}
+	store.KeepLast = 3
+	return store, nil
 }
 
 // registry returns the registry this run publishes into: the

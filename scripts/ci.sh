@@ -16,6 +16,10 @@ go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
 # The metrics registry is written to from every worker goroutine at
 # once; run its whole suite under the race detector.
 go test -race -count 2 ./internal/metrics
+# Elastic-recovery chaos gate: seeded randomized fault schedules
+# (crash windows, rejoins, stragglers, link drops) must converge or
+# tear down cleanly under the race detector.
+make chaos
 # Allocation-regression gate: hot-path benchmarks must stay within 10%
 # of the committed allocs/op baseline (emits BENCH_pr4.json).
 ./scripts/bench_compare.sh

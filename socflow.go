@@ -176,6 +176,16 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
 	reg := o.registry()
 	o.subscribe(reg)
 	job.Metrics = reg
+	if store, err := o.checkpointStore(); err != nil {
+		return nil, err
+	} else if store != nil {
+		job.Checkpoints = store
+		job.CheckpointEvery = o.checkpointEvery
+	}
+	if o.recovery {
+		job.MaxEpochRetries = o.maxRetries
+		job.RetryBackoff = o.retryBackoff
+	}
 	strat, err := buildStrategy(ctx, cfg)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"socflow/internal/core"
 )
 
 func fastCfg(strategy string) Config {
@@ -201,6 +204,67 @@ func TestRunDistributedFacadeTCP(t *testing.T) {
 	}
 	if len(rep.EpochAccuracies) != 2 {
 		t.Fatalf("TCP facade incomplete: %+v", rep)
+	}
+}
+
+// PreemptWindows route through the elastic track: the departure is
+// detected by heartbeat, the return re-admitted with a state transfer,
+// and the report carries the recovery summary.
+func TestRunDistributedElasticPreemptWindow(t *testing.T) {
+	rep, err := RunDistributed(context.Background(), DistributedConfig{
+		JobSpec: JobSpec{
+			Epochs:       5,
+			TrainSamples: 300,
+			ValSamples:   60,
+		},
+		NumSoCs:        6,
+		Groups:         2,
+		InProcess:      true,
+		PreemptWindows: []PreemptWindow{{SoC: 4, Epoch: 1, Return: 3}},
+	}, WithHeartbeat(5*time.Millisecond, 250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EpochAccuracies) != 5 {
+		t.Fatalf("elastic facade incomplete: %+v", rep)
+	}
+	s := rep.Recovery
+	if s == nil {
+		t.Fatal("elastic run must report recovery stats")
+	}
+	if s.Detections < 1 || s.Rejoins != 1 || s.StateTransferBytes <= 0 {
+		t.Fatalf("preemption window not absorbed: %+v", s)
+	}
+	if rep.BestAccuracy < 0.3 {
+		t.Fatalf("elastic facade failed to learn: %v", rep.BestAccuracy)
+	}
+}
+
+// WithCheckpointEvery and WithRecovery arm the simulated track's
+// auto-checkpointing and epoch-retry machinery.
+func TestRunCheckpointAndRecoveryOptions(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(context.Background(), Config{
+		JobSpec: JobSpec{Epochs: 4, TrainSamples: 240, ValSamples: 48},
+		NumSoCs: 8,
+		Groups:  2,
+	}, WithCheckpointEvery(2, dir), WithRecovery(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EpochAccuracies) != 4 {
+		t.Fatalf("run incomplete: %+v", rep)
+	}
+	store, err := core.NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := store.Latest()
+	if err != nil || cp == nil {
+		t.Fatalf("no auto-checkpoint persisted: %v", err)
+	}
+	if cp.Epoch != 4 {
+		t.Fatalf("latest auto-checkpoint epoch = %d, want 4", cp.Epoch)
 	}
 }
 
