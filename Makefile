@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic ci
+.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke ci
 
 all: ci
 
@@ -23,6 +23,12 @@ race:
 # worker-named errors.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestElastic' -count 1 ./internal/runtime
+
+# Control-plane smoke gate: a socflow-server daemon handler takes jobs
+# from two tenants over real HTTP under the race detector, asserting
+# completion, per-tenant quota enforcement, and deterministic reports.
+server-smoke:
+	$(GO) test -race -run TestServerSmoke -count 1 .
 
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
@@ -48,4 +54,4 @@ bench-report:
 	$(GO) run ./cmd/socflow-bench --exp scalability --samples 480 --epochs 6 \
 		--metrics-out BENCH_pr3.json --trace-out BENCH_pr3.trace.json
 
-ci: vet build test race
+ci: vet build test race server-smoke

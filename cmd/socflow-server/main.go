@@ -1,0 +1,109 @@
+// Command socflow-server runs the multi-tenant control plane as a
+// long-lived daemon: clients (socflow-train --server, or socflow.Dial)
+// submit training jobs over HTTP/JSON, and the scheduler admits them
+// against per-tenant quotas, priorities with checkpoint-based
+// preemption, and — with --tidal — the cluster's diurnal idle windows.
+//
+// Example:
+//
+//	socflow-server --addr 127.0.0.1:7077 --socs 32 \
+//	    --quota team-a=2:16 --quota team-b=1:8 --tidal --start-hour 22
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"socflow"
+)
+
+// quotaFlags collects repeated --quota tenant=jobs:socs values.
+type quotaFlags map[string]socflow.Quota
+
+func (q quotaFlags) String() string {
+	parts := make([]string, 0, len(q))
+	for t, v := range q {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d", t, v.MaxRunningJobs, v.MaxSoCs))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (q quotaFlags) Set(s string) error {
+	tenant, lim, ok := strings.Cut(s, "=")
+	if !ok || tenant == "" {
+		return fmt.Errorf("want tenant=jobs:socs, got %q", s)
+	}
+	jobsStr, socsStr, ok := strings.Cut(lim, ":")
+	if !ok {
+		return fmt.Errorf("want tenant=jobs:socs, got %q", s)
+	}
+	jobs, err := strconv.Atoi(jobsStr)
+	if err != nil {
+		return fmt.Errorf("jobs limit in %q: %v", s, err)
+	}
+	socs, err := strconv.Atoi(socsStr)
+	if err != nil {
+		return fmt.Errorf("socs limit in %q: %v", s, err)
+	}
+	q[tenant] = socflow.Quota{MaxRunningJobs: jobs, MaxSoCs: socs}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
+	socs := flag.Int("socs", 32, "schedulable cluster size")
+	queue := flag.Int("queue", 64, "admission queue limit")
+	tidal := flag.Bool("tidal", false, "derate capacity by the diurnal co-location trace")
+	startHour := flag.Float64("start-hour", 0, "initial simulated hour of day (with --tidal)")
+	defJobs := flag.Int("default-max-jobs", 0, "default per-tenant running-job limit (0 = unlimited)")
+	defSoCs := flag.Int("default-max-socs", 0, "default per-tenant SoC limit (0 = unlimited)")
+	quotas := quotaFlags{}
+	flag.Var(quotas, "quota", "per-tenant quota as tenant=jobs:socs (repeatable; 0 = unlimited)")
+	flag.Parse()
+
+	srv := socflow.NewServer(socflow.ServerConfig{
+		TotalSoCs:    *socs,
+		QueueLimit:   *queue,
+		DefaultQuota: socflow.Quota{MaxRunningJobs: *defJobs, MaxSoCs: *defSoCs},
+		Quotas:       quotas,
+		Tidal:        *tidal,
+		StartHour:    *startHour,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	log.Printf("socflow-server: listening on %s (%d SoCs, capacity %d, queue %d, tidal %v)",
+		*addr, *socs, srv.Capacity(), *queue, *tidal)
+	if len(quotas) > 0 {
+		log.Printf("socflow-server: quotas %s", quotas)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("socflow-server: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful teardown: stop accepting, then cancel every job.
+	log.Print("socflow-server: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("socflow-server: shutdown: %v", err)
+	}
+	srv.Close()
+}

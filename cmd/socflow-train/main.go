@@ -50,6 +50,9 @@ func main() {
 	trace := flag.Bool("trace", false, "stream per-epoch progress to stderr")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write the run's spans in Chrome trace_event JSON to this file")
+	serverURL := flag.String("server", "", "submit to a socflow-server daemon at this base URL instead of running locally")
+	tenant := flag.String("tenant", "", "tenant name for the daemon's quota accounting (with --server)")
+	priority := flag.Int("priority", 0, "scheduling priority; higher may preempt (with --server)")
 	flag.Parse()
 	cfg.Seed = *seed
 	cfg.Generation = *gen
@@ -70,10 +73,33 @@ func main() {
 		opts = append(opts, socflow.WithMetrics(metrics.New()))
 	}
 
-	rep, err := socflow.Run(ctx, cfg, opts...)
+	var rep *socflow.Report
+	var err error
+	if *serverURL != "" {
+		// Daemon mode: the job runs in the server's process under its
+		// scheduler (quotas, priorities, preemption); this process just
+		// submits and waits. Execution options are not transmitted.
+		sopts := []socflow.Option{socflow.WithTenant(*tenant), socflow.WithPriority(*priority)}
+		var h *socflow.JobHandle
+		h, err = socflow.Dial(*serverURL).Submit(ctx, cfg, sopts...)
+		if err == nil {
+			fmt.Printf("submitted %s to %s (tenant %q, priority %d)\n", h.ID(), *serverURL, *tenant, *priority)
+			rep, err = h.Wait(ctx)
+		}
+	} else {
+		rep, err = socflow.Run(ctx, cfg, opts...)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "socflow-train:", err)
 		os.Exit(1)
+	}
+	if rep.Metrics == nil {
+		// Daemon-mode reports carry no registry snapshot: execution
+		// options stay in the server's process.
+		if *metricsOut != "" || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "socflow-train: no metrics in report; --metrics-out/--trace-out need a local run")
+		}
+		*metricsOut, *traceOut = "", ""
 	}
 	if *metricsOut != "" {
 		if err := writeOut(*metricsOut, rep.Metrics.WriteJSON); err != nil {

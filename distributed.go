@@ -9,6 +9,7 @@ import (
 	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/runtime"
+	"socflow/internal/server"
 	"socflow/internal/transport"
 )
 
@@ -108,124 +109,163 @@ type RecoveryReport struct {
 	StateTransferBytes int64
 }
 
+func (c DistributedConfig) withDefaults() DistributedConfig {
+	c.JobSpec = c.JobSpec.WithDefaults(defaultDistSpec)
+	if c.NumSoCs == 0 {
+		c.NumSoCs = 8
+	}
+	if c.Groups == 0 {
+		c.Groups = 2
+	}
+	return c
+}
+
 // RunDistributed trains with the concurrent distributed engine. Unlike
 // Run — which executes the mathematically equivalent single-model lift
 // per group and prices time on the simulated cluster — this actually
 // spawns one worker per SoC and moves every gradient over the
 // transport. Use it to demonstrate or debug the protocol itself.
 // Cancelling ctx tears down the mesh, unwinds the workers, and returns
-// ctx.Err().
+// ctx.Err(). Like Run, it is a submit-and-wait wrapper over the
+// in-process control plane.
 func RunDistributed(ctx context.Context, cfg DistributedConfig, opts ...Option) (*DistributedReport, error) {
-	o := gatherOptions(opts)
-	defer o.apply()()
-
-	cfg.JobSpec = cfg.JobSpec.WithDefaults(defaultDistSpec)
-	if cfg.NumSoCs == 0 {
-		cfg.NumSoCs = 8
-	}
-	if cfg.Groups == 0 {
-		cfg.Groups = 2
-	}
-
-	spec, err := nn.GetSpec(cfg.Model)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, cfg.Model, Models())
-	}
-	prof, err := dataset.GetProfile(cfg.Dataset)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
-	}
-	pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
-	train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
-
-	mapping := core.IntegrityGreedyMap(cfg.NumSoCs, cfg.Groups, 5)
-	reg := o.registry()
-	o.subscribe(reg)
-
-	var mesh transport.Mesh
-	if cfg.InProcess {
-		mesh = transport.NewChanMesh(cfg.NumSoCs)
-	} else {
-		tcp, err := transport.NewTCPMesh(cfg.NumSoCs)
-		if err != nil {
-			return nil, fmt.Errorf("socflow: building TCP mesh: %w", err)
-		}
-		defer tcp.Close()
-		tcp.SetMetrics(reg)
-		mesh = tcp
-	}
-
-	if o.logger != nil {
-		o.logger.Printf("distributed run: %s on %s, %d SoCs in %d groups", cfg.Model, cfg.Dataset, cfg.NumSoCs, cfg.Groups)
-	}
-	dcfg := runtime.DistConfig{
-		JobSpec:        cfg.JobSpec,
-		Groups:         runtime.GroupsFromMapping(mapping),
-		DegradeOnFault: cfg.DegradeOnFault,
-		Metrics:        reg,
-	}
-	if cfg.InjectCrashes > 0 {
-		dcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
-	}
-	if store, err := o.checkpointStore(); err != nil {
-		return nil, err
-	} else if store != nil {
-		dcfg.Checkpoints = store
-		dcfg.CheckpointEvery = o.checkpointEvery
-	}
-	if o.recovery || len(cfg.PreemptWindows) > 0 {
-		rc := &runtime.RecoveryConfig{
-			HeartbeatInterval: o.hbInterval,
-			HeartbeatTimeout:  o.hbTimeout,
-			MaxRetries:        o.maxRetries,
-			RetryBackoff:      o.retryBackoff,
-		}
-		if dcfg.Faults == nil {
-			dcfg.Faults = &transport.FaultPlan{}
-		}
-		for _, w := range cfg.PreemptWindows {
-			ev := transport.FaultEvent{Kind: transport.FaultCrash, Node: w.SoC, Epoch: w.Epoch}
-			if w.Return >= 0 {
-				ev.UntilEpoch = w.Return
-				rc.Rejoins = append(rc.Rejoins, runtime.Rejoin{Node: w.SoC, Epoch: w.Return})
-			}
-			dcfg.Faults.Events = append(dcfg.Faults.Events, ev)
-		}
-		if len(dcfg.Faults.Events) == 0 {
-			dcfg.Faults = nil
-		}
-		dcfg.Recovery = rc
-	}
-	finish := core.BeginKernelHarvest(reg)
-	span := reg.BeginSpan("run", "facade", 0)
-	res, err := runtime.RunDistributed(ctx, mesh, spec, train, val, dcfg)
-	span.End()
-	finish()
+	h, err := defaultClient().SubmitDistributed(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
-	rep := &DistributedReport{EpochAccuracies: res.EpochAccuracies, Topology: mapping.Groups}
-	for _, a := range res.EpochAccuracies {
-		if a > rep.BestAccuracy {
-			rep.BestAccuracy = a
-		}
-	}
-	if s := res.Recovery; s != nil {
-		rep.Recovery = &RecoveryReport{
-			Detections:         s.Detections,
-			Rejoins:            s.Rejoins,
-			Retries:            s.Retries,
-			MembershipEpoch:    s.MembershipEpoch,
-			StateTransferBytes: s.StateTransferBytes,
-		}
-	}
-	rep.Metrics = reg.Snapshot()
-	return rep, nil
+	return h.Wait(ctx)
 }
 
-// RunDistributedDefault is the old zero-option entry point.
-//
-// Deprecated: use RunDistributed with a context and options.
-func RunDistributedDefault(cfg DistributedConfig) (*DistributedReport, error) {
-	return RunDistributed(context.Background(), cfg)
+// buildDistributedSpec compiles a DistributedConfig into the
+// scheduler's JobSpec. Distributed jobs are not preemptible: the
+// concurrent engine absorbs per-SoC departures through its elastic
+// recovery track instead of whole-job parking.
+func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o runOptions, h *jobRef) (server.JobSpec, error) {
+	// Validate eagerly so configuration errors surface at Submit.
+	if _, err := nn.GetSpec(cfg.Model); err != nil {
+		return server.JobSpec{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, cfg.Model, Models())
+	}
+	if _, err := dataset.GetProfile(cfg.Dataset); err != nil {
+		return server.JobSpec{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
+	}
+
+	userReg := o.registry()
+	o.subscribe(userReg)
+
+	run := func(runCtx context.Context, ctl *server.Controller) (any, error) {
+		defer o.apply()()
+		ctx, cancel := context.WithCancel(submitCtx)
+		defer cancel()
+		stop := context.AfterFunc(runCtx, cancel)
+		defer stop()
+
+		reg := userReg
+		if reg == nil {
+			reg = metrics.New()
+		}
+		h.attachRegistry(reg)
+
+		spec, err := nn.GetSpec(cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, cfg.Model, Models())
+		}
+		prof, err := dataset.GetProfile(cfg.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
+		}
+		pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
+		train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
+
+		mapping := core.IntegrityGreedyMap(cfg.NumSoCs, cfg.Groups, 5)
+
+		var mesh transport.Mesh
+		if cfg.InProcess {
+			mesh = transport.NewChanMesh(cfg.NumSoCs)
+		} else {
+			tcp, err := transport.NewTCPMesh(cfg.NumSoCs)
+			if err != nil {
+				return nil, fmt.Errorf("socflow: building TCP mesh: %w", err)
+			}
+			defer tcp.Close()
+			tcp.SetMetrics(reg)
+			mesh = tcp
+		}
+
+		if o.logger != nil {
+			o.logger.Printf("distributed run: %s on %s, %d SoCs in %d groups", cfg.Model, cfg.Dataset, cfg.NumSoCs, cfg.Groups)
+		}
+		dcfg := runtime.DistConfig{
+			JobSpec:        cfg.JobSpec,
+			Groups:         runtime.GroupsFromMapping(mapping),
+			DegradeOnFault: cfg.DegradeOnFault,
+			Metrics:        reg,
+			EpochEnd:       func(epoch int, acc float64) { ctl.ObserveEpoch(epoch) },
+		}
+		if cfg.InjectCrashes > 0 {
+			dcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
+		}
+		if store, err := o.checkpointStore(); err != nil {
+			return nil, err
+		} else if store != nil {
+			dcfg.Checkpoints = store
+			dcfg.CheckpointEvery = o.checkpointEvery
+		}
+		if o.recovery || len(cfg.PreemptWindows) > 0 {
+			rc := &runtime.RecoveryConfig{
+				HeartbeatInterval: o.hbInterval,
+				HeartbeatTimeout:  o.hbTimeout,
+				MaxRetries:        o.maxRetries,
+				RetryBackoff:      o.retryBackoff,
+			}
+			if dcfg.Faults == nil {
+				dcfg.Faults = &transport.FaultPlan{}
+			}
+			for _, w := range cfg.PreemptWindows {
+				ev := transport.FaultEvent{Kind: transport.FaultCrash, Node: w.SoC, Epoch: w.Epoch}
+				if w.Return >= 0 {
+					ev.UntilEpoch = w.Return
+					rc.Rejoins = append(rc.Rejoins, runtime.Rejoin{Node: w.SoC, Epoch: w.Return})
+				}
+				dcfg.Faults.Events = append(dcfg.Faults.Events, ev)
+			}
+			if len(dcfg.Faults.Events) == 0 {
+				dcfg.Faults = nil
+			}
+			dcfg.Recovery = rc
+		}
+		finish := core.BeginKernelHarvest(userReg)
+		span := reg.BeginSpan("run", "facade", 0)
+		res, err := runtime.RunDistributed(ctx, mesh, spec, train, val, dcfg)
+		span.End()
+		finish()
+		if err != nil {
+			return nil, err
+		}
+		rep := &DistributedReport{EpochAccuracies: res.EpochAccuracies, Topology: mapping.Groups}
+		for _, a := range res.EpochAccuracies {
+			if a > rep.BestAccuracy {
+				rep.BestAccuracy = a
+			}
+		}
+		if s := res.Recovery; s != nil {
+			rep.Recovery = &RecoveryReport{
+				Detections:         s.Detections,
+				Rejoins:            s.Rejoins,
+				Retries:            s.Retries,
+				MembershipEpoch:    s.MembershipEpoch,
+				StateTransferBytes: s.StateTransferBytes,
+			}
+		}
+		rep.Metrics = userReg.Snapshot()
+		return rep, nil
+	}
+
+	return server.JobSpec{
+		Tenant:     o.tenant,
+		Priority:   o.priority,
+		SoCs:       cfg.NumSoCs,
+		Epochs:     cfg.Epochs,
+		Run:        run,
+		OnTerminal: func() { h.finishEvents() },
+	}, nil
 }

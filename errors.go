@@ -21,4 +21,12 @@ var (
 	ErrUnknownGeneration = errors.New("socflow: unknown SoC generation")
 	// ErrBadTopology reports inconsistent PlanTopology arguments.
 	ErrBadTopology = errors.New("socflow: invalid topology")
+	// ErrBadOption reports an invalid option combination — a heartbeat
+	// timeout not exceeding its interval, a non-positive checkpoint
+	// stride, a negative retry budget. Options are validated before any
+	// work starts, so a run never begins with knobs it would ignore or
+	// misapply.
+	ErrBadOption = errors.New("socflow: invalid option")
+	// ErrBadModelSpec reports an invalid RegisterModel specification.
+	ErrBadModelSpec = errors.New("socflow: invalid model spec")
 )

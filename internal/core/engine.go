@@ -75,6 +75,23 @@ type Job struct {
 	// preempted windows, flaky storage — into the retry machinery;
 	// non-finite weights are detected as failures regardless.
 	EpochFault func(epoch, attempt int) error
+	// StartEpoch is the first epoch index to run (0 trains from
+	// scratch). The control plane sets it when resuming a parked job so
+	// epoch numbering, the LR schedule, and early-stop bookkeeping
+	// continue from where the job left off instead of restarting.
+	StartEpoch int
+	// Resume, when non-nil, seeds every replica from a parked
+	// checkpoint (weights plus layer state) before training starts.
+	// Pair it with StartEpoch = Resume.Epoch; momentum restarts, as it
+	// would on a real on-SoC resume (see Campaign).
+	Resume *Checkpoint
+	// ShouldPark, when non-nil, is polled at each epoch boundary. When
+	// it returns true the strategy stops cleanly: the result is marked
+	// Parked, carries the epochs finished so far, and FinalWeights /
+	// FinalState hold the snapshot a scheduler needs to checkpoint and
+	// later resume the job (the checkpoint-based preemption of §3,
+	// lifted from one logical group to the whole job).
+	ShouldPark func() bool
 }
 
 // epochEnd is the funnel every strategy reports epochs through: it
@@ -178,6 +195,11 @@ type Result struct {
 	// EpochRetries counts epoch re-runs taken from start-of-epoch
 	// snapshots after detected failures (Job.MaxEpochRetries budget).
 	EpochRetries int
+	// Parked reports that the run stopped early at an epoch boundary
+	// because Job.ShouldPark asked it to — a scheduler preemption, not
+	// a failure. EpochAccuracies covers only the epochs actually run;
+	// FinalWeights/FinalState are the state to checkpoint for resume.
+	Parked bool
 }
 
 // observe appends an epoch observation and handles target bookkeeping.

@@ -232,11 +232,39 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 		iterSeeds[g] = job.Seed + 100 + uint64(g)
 	}
 
+	// Resuming a parked job: restore the checkpointed weights and layer
+	// state into every replica, requantizing the INT8 side from the
+	// restored FP32 weights. Momentum restarts, as on a real resume.
+	// Replaying the reshuffle sequence up to StartEpoch keeps the data
+	// order identical to a run that was never parked.
+	if job.Resume != nil {
+		for _, gt := range groups {
+			job.Resume.Restore(gt.weights(), gt.state())
+			if gt.mp != nil {
+				gt.mp.AdoptMerged()
+			}
+		}
+		if !s.DisableReshuffle {
+			for past := 0; past < job.StartEpoch; past++ {
+				all := make([]*dataset.Dataset, n)
+				for g := range groups {
+					all[g] = groups[g].shard
+				}
+				fresh := dataset.Reshuffle(all, job.Seed+1000+uint64(past))
+				for g := range groups {
+					groups[g].shard = fresh[g]
+					iterSeeds[g] = job.Seed + 2000 + uint64(past)*uint64(n) + uint64(g)
+					groups[g].it = dataset.NewBatchIterator(fresh[g], job.GlobalBatch, iterSeeds[g])
+				}
+			}
+		}
+	}
+
 	res := &Result{Strategy: s.Name()}
 	meter := cluster.NewEnergyMeter(m)
 	tl := newTimeline(s, job, clu, mapping, plan)
 
-	for epoch := 0; epoch < job.Epochs; epoch++ {
+	for epoch := job.StartEpoch; epoch < job.Epochs; epoch++ {
 		active := s.activeGroups(n, epoch, res)
 
 		// Apply this epoch's DVFS throttle trace (if any).
@@ -395,6 +423,10 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 			return nil, err
 		}
 		if res.done(job.TargetAccuracy) {
+			break
+		}
+		if epoch+1 < job.Epochs && job.ShouldPark != nil && job.ShouldPark() {
+			res.Parked = true
 			break
 		}
 	}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"socflow/internal/tensor"
 )
@@ -83,9 +84,44 @@ var zoo = map[string]*Spec{
 	},
 }
 
+// zooMu guards zoo: the builtin catalog is extended at runtime by
+// Register (the public socflow.RegisterModel API).
+var zooMu sync.RWMutex
+
+// Register adds a model to the catalog. The spec must carry a name, a
+// positive parameter count and forward cost (the performance track
+// prices communication and compute from them), and a micro builder.
+// Registering a name twice — including a builtin — is an error, so the
+// calibrated Table 2 entries cannot be shadowed.
+func Register(s *Spec) error {
+	switch {
+	case s == nil || s.Name == "":
+		return fmt.Errorf("nn: register: spec must have a name")
+	case s.Params <= 0:
+		return fmt.Errorf("nn: register %q: Params must be positive (paper-scale trainable parameters)", s.Name)
+	case s.ForwardGFLOPs <= 0:
+		return fmt.Errorf("nn: register %q: ForwardGFLOPs must be positive", s.Name)
+	case s.NPUSpeedup <= 0:
+		return fmt.Errorf("nn: register %q: NPUSpeedup must be positive", s.Name)
+	case s.EpochsToConverge <= 0:
+		return fmt.Errorf("nn: register %q: EpochsToConverge must be positive", s.Name)
+	case s.BuildMicro == nil:
+		return fmt.Errorf("nn: register %q: BuildMicro must be set", s.Name)
+	}
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	if _, ok := zoo[s.Name]; ok {
+		return fmt.Errorf("nn: register %q: already registered", s.Name)
+	}
+	zoo[s.Name] = s
+	return nil
+}
+
 // GetSpec returns the spec for a catalog model.
 func GetSpec(name string) (*Spec, error) {
+	zooMu.RLock()
 	s, ok := zoo[name]
+	zooMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("nn: unknown model %q (have %v)", name, ModelNames())
 	}
@@ -103,6 +139,8 @@ func MustSpec(name string) *Spec {
 
 // ModelNames returns the sorted catalog names.
 func ModelNames() []string {
+	zooMu.RLock()
+	defer zooMu.RUnlock()
 	names := make([]string, 0, len(zoo))
 	for n := range zoo {
 		names = append(names, n)

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// echoFactory builds instant jobs whose result echoes the request, so
+// HTTP plumbing can be tested without any training.
+func echoFactory(req SubmitRequest) (JobSpec, error) {
+	if req.Kind != "" && req.Kind != "train" {
+		return JobSpec{}, fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	tenant := req.Tenant
+	return JobSpec{
+		Tenant: tenant,
+		SoCs:   1,
+		Run: func(ctx context.Context, ctl *Controller) (any, error) {
+			return map[string]string{"tenant": tenant}, nil
+		},
+	}, nil
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(Config{TotalSoCs: 4, Quotas: map[string]Quota{"tiny": {MaxSoCs: 0, MaxRunningJobs: 0}}})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s, echoFactory))
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(`{"tenant":"a","kind":"train","config":{}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response: %+v %v", sub, err)
+	}
+	if _, err := s.Wait(context.Background(), sub.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Status with report once done.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("get job: %v %v", resp, err)
+	}
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.State != JobDone || jr.Tenant != "a" {
+		t.Fatalf("job response: %+v", jr)
+	}
+	var report map[string]string
+	if err := json.Unmarshal(jr.Report, &report); err != nil || report["tenant"] != "a" {
+		t.Fatalf("report payload: %s (%v)", jr.Report, err)
+	}
+
+	// List includes the job.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("list: %v %v", resp, err)
+	}
+	var list []Status
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil || len(list) != 1 {
+		t.Fatalf("list payload: %+v %v", list, err)
+	}
+
+	// Error mapping.
+	if resp := post(`{"kind":"serve","config":{}}`); resp.StatusCode != 400 {
+		t.Fatalf("bad kind status %d", resp.StatusCode)
+	}
+	if resp := post(`not json`); resp.StatusCode != 400 {
+		t.Fatalf("bad body status %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/job-999999"); resp.StatusCode != 404 {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+
+	// Cancel (of a terminal job: no-op, still 204).
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cancel: %v %v", resp, err)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/job-999999", nil)
+	if resp, _ := http.DefaultClient.Do(req); resp.StatusCode != 404 {
+		t.Fatalf("cancel unknown status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPQuotaStatus(t *testing.T) {
+	s := New(Config{TotalSoCs: 4, Quotas: map[string]Quota{"capped": {MaxSoCs: 1}}})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s, func(req SubmitRequest) (JobSpec, error) {
+		return JobSpec{
+			Tenant: req.Tenant,
+			SoCs:   2,
+			Run:    func(ctx context.Context, ctl *Controller) (any, error) { return nil, nil },
+		}, nil
+	}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		bytes.NewBufferString(`{"tenant":"capped","config":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("quota violation status %d, want 403", resp.StatusCode)
+	}
+}

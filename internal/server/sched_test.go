@@ -1,0 +1,210 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"socflow/internal/cluster"
+)
+
+func noQuota(string) Quota { return Quota{} }
+
+func TestCapacityTidal(t *testing.T) {
+	trv := cluster.DefaultTidalTrace()
+	tr := &trv
+	cases := []struct {
+		name  string
+		total int
+		tr    *cluster.TidalTrace
+		hour  float64
+		want  func(int) bool
+	}{
+		{"no trace", 32, nil, 14.5, func(c int) bool { return c == 32 }},
+		{"trough frees most of the cluster", 32, tr, 2.5, func(c int) bool { return c >= 28 }},
+		{"peak leaves only the idle sliver", 32, tr, 14.5, func(c int) bool { return c <= 6 }},
+		{"zero cluster", 0, tr, 2.5, func(c int) bool { return c == 0 }},
+	}
+	for _, c := range cases {
+		got := Capacity(c.total, c.tr, c.hour)
+		if !c.want(got) {
+			t.Errorf("%s: Capacity(%d, hour=%.1f) = %d", c.name, c.total, c.hour, got)
+		}
+		if got < 0 || got > c.total {
+			t.Errorf("%s: capacity %d out of [0,%d]", c.name, got, c.total)
+		}
+	}
+	if Capacity(32, tr, 2.5) <= Capacity(32, tr, 14.5) {
+		t.Error("trough capacity must exceed peak capacity")
+	}
+}
+
+func TestPlanScheduleTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		pending  []schedJob
+		running  []schedRunning
+		capacity int
+		quota    func(string) Quota
+		want     decision
+	}{
+		{
+			name: "admission in priority then submission order",
+			pending: []schedJob{
+				{id: "a", tenant: "t", priority: 0, socs: 4, seq: 1},
+				{id: "b", tenant: "t", priority: 5, socs: 4, seq: 2},
+				{id: "c", tenant: "t", priority: 5, socs: 4, seq: 3},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			want:     decision{Start: []string{"b", "c"}},
+		},
+		{
+			name: "smaller job backfills around one that cannot fit",
+			pending: []schedJob{
+				{id: "big", tenant: "t", priority: 9, socs: 16, seq: 1},
+				{id: "small", tenant: "t", priority: 0, socs: 4, seq: 2},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			want:     decision{Start: []string{"small"}},
+		},
+		{
+			name: "quota caps running jobs per tenant",
+			pending: []schedJob{
+				{id: "a2", tenant: "a", priority: 0, socs: 2, seq: 2},
+				{id: "b1", tenant: "b", priority: 0, socs: 2, seq: 3},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "a1", tenant: "a", priority: 0, socs: 2, seq: 1}},
+			},
+			capacity: 16,
+			quota: func(tenant string) Quota {
+				if tenant == "a" {
+					return Quota{MaxRunningJobs: 1}
+				}
+				return Quota{}
+			},
+			want: decision{Start: []string{"b1"}},
+		},
+		{
+			name: "quota caps tenant SoCs",
+			pending: []schedJob{
+				{id: "a2", tenant: "a", priority: 0, socs: 6, seq: 2},
+				{id: "a3", tenant: "a", priority: 0, socs: 2, seq: 3},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "a1", tenant: "a", priority: 0, socs: 4, seq: 1}},
+			},
+			capacity: 16,
+			quota:    func(string) Quota { return Quota{MaxSoCs: 8} },
+			want:     decision{Start: []string{"a3"}},
+		},
+		{
+			name: "high priority parks the cheapest preemptible victim",
+			pending: []schedJob{
+				{id: "hi", tenant: "t", priority: 9, socs: 8, seq: 3},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "lo1", tenant: "t", priority: 1, socs: 8, seq: 1}, preemptible: true},
+				{schedJob: schedJob{id: "lo2", tenant: "t", priority: 0, socs: 8, seq: 2}, preemptible: true},
+			},
+			capacity: 16,
+			quota:    noQuota,
+			want:     decision{Park: []string{"lo2"}},
+		},
+		{
+			name: "equal priority never preempts",
+			pending: []schedJob{
+				{id: "peer", tenant: "t", priority: 5, socs: 8, seq: 2},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "lo", tenant: "t", priority: 5, socs: 8, seq: 1}, preemptible: true},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			want:     decision{},
+		},
+		{
+			name: "non-preemptible jobs are safe",
+			pending: []schedJob{
+				{id: "hi", tenant: "t", priority: 9, socs: 8, seq: 2},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "lo", tenant: "t", priority: 0, socs: 8, seq: 1}},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			want:     decision{},
+		},
+		{
+			name: "parking capacity is reserved, not re-parked and not squattable",
+			pending: []schedJob{
+				{id: "hi", tenant: "t", priority: 9, socs: 8, seq: 3},
+				{id: "lo2", tenant: "t", priority: 0, socs: 8, seq: 4},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "lo1", tenant: "t", priority: 0, socs: 8, seq: 1}, preemptible: true, parking: true},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			// hi's reservation consumes lo1's draining SoCs; lo2 must
+			// not start on them and nothing else is parked.
+			want: decision{},
+		},
+		{
+			name: "preemption reclaims multiple victims when needed",
+			pending: []schedJob{
+				{id: "hi", tenant: "t", priority: 9, socs: 8, seq: 4},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "lo1", tenant: "t", priority: 1, socs: 4, seq: 1}, preemptible: true},
+				{schedJob: schedJob{id: "lo2", tenant: "t", priority: 1, socs: 4, seq: 2}, preemptible: true},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			want:     decision{Park: []string{"lo2", "lo1"}},
+		},
+		{
+			name: "tidal window packs only what fits",
+			pending: []schedJob{
+				{id: "j1", tenant: "t", priority: 0, socs: 2, seq: 1},
+				{id: "j2", tenant: "t", priority: 0, socs: 2, seq: 2},
+				{id: "j3", tenant: "t", priority: 0, socs: 2, seq: 3},
+			},
+			capacity: 5, // e.g. peak-hour derated capacity
+			quota:    noQuota,
+			want:     decision{Start: []string{"j1", "j2"}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := planSchedule(c.pending, c.running, c.capacity, c.quota)
+			if !reflect.DeepEqual(got.Start, c.want.Start) || !reflect.DeepEqual(got.Park, c.want.Park) {
+				t.Fatalf("planSchedule = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// The tidal trace drives packing end to end: what does not fit at the
+// daytime peak is admitted once the clock reaches the trough.
+func TestPlanScheduleTidalPacking(t *testing.T) {
+	trv := cluster.DefaultTidalTrace()
+	tr := &trv
+	total := 32
+	pending := []schedJob{
+		{id: "j1", tenant: "t", priority: 0, socs: 8, seq: 1},
+		{id: "j2", tenant: "t", priority: 0, socs: 8, seq: 2},
+		{id: "j3", tenant: "t", priority: 0, socs: 8, seq: 3},
+	}
+	atPeak := planSchedule(pending, nil, Capacity(total, tr, 14.5), noQuota)
+	if len(atPeak.Start) != 0 {
+		t.Fatalf("peak hour (capacity %d) should admit nothing: %+v",
+			Capacity(total, tr, 14.5), atPeak)
+	}
+	atTrough := planSchedule(pending, nil, Capacity(total, tr, 2.5), noQuota)
+	if len(atTrough.Start) != 3 {
+		t.Fatalf("trough (capacity %d) should admit all three: %+v",
+			Capacity(total, tr, 2.5), atTrough)
+	}
+}

@@ -25,13 +25,20 @@ type runOptions struct {
 	logger      *log.Logger
 	metrics     *metrics.Registry
 
+	// Control plane (see DESIGN.md §13).
+	tenant   string
+	priority int
+
 	// Elastic recovery (see DESIGN.md §12).
 	hbInterval, hbTimeout time.Duration
+	hbSet                 bool
 	recovery              bool
+	recoverySet           bool
 	maxRetries            int
 	retryBackoff          time.Duration
 	checkpointEvery       int
 	checkpointDir         string
+	checkpointSet         bool
 }
 
 // WithParallelism caps the worker pool at n OS threads for the
@@ -78,6 +85,7 @@ func WithMetrics(reg *metrics.Registry) Option {
 func WithHeartbeat(interval, timeout time.Duration) Option {
 	return func(o *runOptions) {
 		o.recovery = true
+		o.hbSet = true
 		o.hbInterval, o.hbTimeout = interval, timeout
 	}
 }
@@ -92,6 +100,7 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 func WithRecovery(maxRetries int, backoff time.Duration) Option {
 	return func(o *runOptions) {
 		o.recovery = true
+		o.recoverySet = true
 		o.maxRetries = maxRetries
 		o.retryBackoff = backoff
 	}
@@ -104,17 +113,67 @@ func WithRecovery(maxRetries int, backoff time.Duration) Option {
 // RunDistributed.
 func WithCheckpointEvery(n int, dir string) Option {
 	return func(o *runOptions) {
+		o.checkpointSet = true
 		o.checkpointEvery = n
 		o.checkpointDir = dir
 	}
 }
 
-func gatherOptions(opts []Option) runOptions {
+// WithTenant tags the job with a tenant name for the control plane's
+// per-tenant quota accounting. The default tenant is "" (the shared
+// pool). Ignored outside a server context only in that the unbounded
+// in-process default server has no quotas configured.
+func WithTenant(name string) Option {
+	return func(o *runOptions) { o.tenant = name }
+}
+
+// WithPriority sets the job's scheduling priority (default 0). Higher
+// priorities are admitted first and may preempt lower-priority
+// preemptible jobs: the victim checkpoints at its next epoch boundary,
+// parks, and resumes from that checkpoint when capacity returns.
+func WithPriority(p int) Option {
+	return func(o *runOptions) { o.priority = p }
+}
+
+// gatherOptions applies opts and validates the result, so an invalid
+// combination fails the submission up front (wrapping ErrBadOption)
+// instead of silently arming machinery with knobs it would misapply.
+func gatherOptions(opts []Option) (runOptions, error) {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return o
+	if o.hbSet {
+		if o.hbInterval <= 0 || o.hbTimeout <= 0 {
+			return o, fmt.Errorf("%w: WithHeartbeat(%v, %v): interval and timeout must be positive",
+				ErrBadOption, o.hbInterval, o.hbTimeout)
+		}
+		if o.hbTimeout <= o.hbInterval {
+			return o, fmt.Errorf("%w: WithHeartbeat(%v, %v): timeout must exceed the interval, ideally by tens of beats, or every scheduler hiccup is declared a death",
+				ErrBadOption, o.hbInterval, o.hbTimeout)
+		}
+	}
+	if o.checkpointSet {
+		if o.checkpointEvery <= 0 {
+			return o, fmt.Errorf("%w: WithCheckpointEvery(%d, %q): the epoch stride must be positive",
+				ErrBadOption, o.checkpointEvery, o.checkpointDir)
+		}
+		if o.checkpointDir == "" {
+			return o, fmt.Errorf("%w: WithCheckpointEvery(%d, \"\"): a checkpoint directory is required",
+				ErrBadOption, o.checkpointEvery)
+		}
+	}
+	if o.recoverySet {
+		if o.maxRetries < 0 {
+			return o, fmt.Errorf("%w: WithRecovery(%d, %v): the retry budget cannot be negative",
+				ErrBadOption, o.maxRetries, o.retryBackoff)
+		}
+		if o.retryBackoff < 0 {
+			return o, fmt.Errorf("%w: WithRecovery(%d, %v): the backoff cannot be negative",
+				ErrBadOption, o.maxRetries, o.retryBackoff)
+		}
+	}
+	return o, nil
 }
 
 // apply installs the parallelism setting and returns a restore

@@ -1,0 +1,90 @@
+package socflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGatherOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []Option
+		bad     bool
+		mention string
+	}{
+		{"no options", nil, false, ""},
+		{"valid heartbeat", []Option{WithHeartbeat(time.Millisecond, 100*time.Millisecond)}, false, ""},
+		{"zero heartbeat interval", []Option{WithHeartbeat(0, time.Second)}, true, "WithHeartbeat"},
+		{"zero heartbeat timeout", []Option{WithHeartbeat(time.Second, 0)}, true, "WithHeartbeat"},
+		{"negative heartbeat", []Option{WithHeartbeat(-time.Second, time.Second)}, true, "WithHeartbeat"},
+		{"timeout equals interval", []Option{WithHeartbeat(time.Second, time.Second)}, true, "timeout"},
+		{"timeout below interval", []Option{WithHeartbeat(time.Second, time.Millisecond)}, true, "timeout"},
+		{"valid checkpoint", []Option{WithCheckpointEvery(2, "dir")}, false, ""},
+		{"zero checkpoint stride", []Option{WithCheckpointEvery(0, "dir")}, true, "stride"},
+		{"negative checkpoint stride", []Option{WithCheckpointEvery(-3, "dir")}, true, "stride"},
+		{"empty checkpoint dir", []Option{WithCheckpointEvery(2, "")}, true, "directory"},
+		{"valid recovery", []Option{WithRecovery(2, time.Millisecond)}, false, ""},
+		{"zero-retry recovery", []Option{WithRecovery(0, 0)}, false, ""},
+		{"negative retries", []Option{WithRecovery(-1, time.Millisecond)}, true, "retry"},
+		{"negative backoff", []Option{WithRecovery(2, -time.Millisecond)}, true, "backoff"},
+		{"valid combination", []Option{
+			WithHeartbeat(time.Millisecond, 50*time.Millisecond),
+			WithRecovery(1, time.Millisecond),
+			WithTenant("team-a"),
+			WithPriority(5),
+		}, false, ""},
+		{"one bad among good", []Option{
+			WithTenant("team-a"),
+			WithCheckpointEvery(0, "dir"),
+		}, true, "stride"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, err := gatherOptions(c.opts)
+			if !c.bad {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("want rejection")
+			}
+			if !errors.Is(err, ErrBadOption) {
+				t.Fatalf("want errors.Is(ErrBadOption), got %v", err)
+			}
+			if c.mention != "" && !strings.Contains(err.Error(), c.mention) {
+				t.Fatalf("error should mention %q: %v", c.mention, err)
+			}
+			_ = o
+		})
+	}
+}
+
+func TestGatherOptionsCarriesTenantAndPriority(t *testing.T) {
+	o, err := gatherOptions([]Option{WithTenant("team-b"), WithPriority(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.tenant != "team-b" || o.priority != 7 {
+		t.Fatalf("tenant/priority not carried: %+v", o)
+	}
+}
+
+// Bad options must fail the submission itself — before any job is
+// admitted — on every entry point.
+func TestBadOptionsFailSubmission(t *testing.T) {
+	bad := WithHeartbeat(time.Second, time.Millisecond)
+	if _, err := Run(context.Background(), fastCfg(""), bad); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("Run: want ErrBadOption, got %v", err)
+	}
+	if _, err := defaultClient().Submit(context.Background(), fastCfg(""), bad); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("Submit: want ErrBadOption, got %v", err)
+	}
+	if _, err := RunDistributed(context.Background(), DistributedConfig{}, WithCheckpointEvery(0, "x")); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("RunDistributed: want ErrBadOption, got %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+package socflow
+
+import (
+	"fmt"
+
+	"socflow/internal/nn"
+	"socflow/internal/tensor"
+)
+
+// ModelSpec describes a user model for RegisterModel: the paper-scale
+// costs the performance track prices (Params, ForwardGFLOPs), the
+// convergence knobs, and a micro architecture built from the Layer DSL
+// that the functional track actually trains.
+type ModelSpec struct {
+	// Params is the paper-scale trainable-parameter count; it sizes the
+	// gradient payload every synchronization moves.
+	Params int64
+	// ForwardGFLOPs is the forward-pass cost per sample at paper scale
+	// (a training step is priced as 3x forward).
+	ForwardGFLOPs float64
+	// NPUSpeedup is the per-step INT8-on-NPU over FP32-on-CPU speedup
+	// (default 1: no measured NPU advantage).
+	NPUSpeedup float64
+	// EpochsToConverge translates per-epoch simulated time into
+	// end-to-end hours (default 50).
+	EpochsToConverge int
+	// Micro returns the micro-scale layer plan for the given input
+	// channels, square image size, and class count. The plan must end
+	// with exactly `classes` features — typically a final
+	// Dense(classes).
+	Micro func(inC, imgSize, classes int) []Layer
+}
+
+// Layer is one opaque element of a ModelSpec.Micro plan. Build layers
+// with the constructors below; input sizes (Dense fan-in, BatchNorm
+// and DepthwiseConv2D channels) are inferred, so a plan only states
+// what each layer produces.
+type Layer struct {
+	kind                string
+	out, k, stride, pad int
+}
+
+// Conv2D is a 2-D convolution with a square kernel producing out
+// channels.
+func Conv2D(out, k, stride, pad int) Layer {
+	return Layer{kind: "conv", out: out, k: k, stride: stride, pad: pad}
+}
+
+// DepthwiseConv2D is a per-channel 2-D convolution (channel count is
+// inferred and preserved).
+func DepthwiseConv2D(k, stride, pad int) Layer {
+	return Layer{kind: "dwconv", k: k, stride: stride, pad: pad}
+}
+
+// Dense is a fully connected layer producing out features; fan-in is
+// inferred. It must follow Flatten or GlobalAvgPool (or another Dense).
+func Dense(out int) Layer { return Layer{kind: "dense", out: out} }
+
+// ReLU is a rectified-linear activation.
+func ReLU() Layer { return Layer{kind: "relu"} }
+
+// Tanh is a hyperbolic-tangent activation.
+func Tanh() Layer { return Layer{kind: "tanh"} }
+
+// MaxPool2D is a kxk max pool with the given stride (no padding).
+func MaxPool2D(k, stride int) Layer { return Layer{kind: "maxpool", k: k, stride: stride} }
+
+// BatchNorm is 2-D batch normalization over the inferred channel
+// count.
+func BatchNorm() Layer { return Layer{kind: "bn"} }
+
+// GlobalAvgPool averages each channel map to one feature, flattening
+// the tensor to C features.
+func GlobalAvgPool() Layer { return Layer{kind: "gap"} }
+
+// Flatten reshapes C×H×W maps into C*H*W features for Dense layers.
+func Flatten() Layer { return Layer{kind: "flatten"} }
+
+// planShape tracks the tensor shape through a layer plan: spatial
+// (channels c, square size h) until Flatten/GlobalAvgPool, flat (feat)
+// after.
+type planShape struct {
+	c, h, feat int
+	flat       bool
+}
+
+// inferPlan walks a layer plan from (inC, imgSize), validating each
+// layer's geometry, and returns the final shape.
+func inferPlan(layers []Layer, inC, imgSize int) (planShape, error) {
+	s := planShape{c: inC, h: imgSize}
+	if len(layers) == 0 {
+		return s, fmt.Errorf("empty layer plan")
+	}
+	for i, l := range layers {
+		fail := func(format string, args ...any) (planShape, error) {
+			return s, fmt.Errorf("layer %d (%s): %s", i, l.kind, fmt.Sprintf(format, args...))
+		}
+		needSpatial := func() error {
+			if s.flat {
+				return fmt.Errorf("layer %d (%s): needs a spatial C×H×W input but follows Flatten/GlobalAvgPool", i, l.kind)
+			}
+			return nil
+		}
+		switch l.kind {
+		case "conv", "dwconv":
+			if err := needSpatial(); err != nil {
+				return s, err
+			}
+			if l.kind == "conv" && l.out <= 0 {
+				return fail("output channels must be positive, got %d", l.out)
+			}
+			if l.k <= 0 || l.stride <= 0 || l.pad < 0 {
+				return fail("kernel %d, stride %d, pad %d invalid", l.k, l.stride, l.pad)
+			}
+			oh := (s.h+2*l.pad-l.k)/l.stride + 1
+			if s.h+2*l.pad < l.k || oh < 1 {
+				return fail("%dx%d window (pad %d) does not fit %dx%d input", l.k, l.k, l.pad, s.h, s.h)
+			}
+			s.h = oh
+			if l.kind == "conv" {
+				s.c = l.out
+			}
+		case "maxpool":
+			if err := needSpatial(); err != nil {
+				return s, err
+			}
+			if l.k <= 0 || l.stride <= 0 {
+				return fail("kernel %d, stride %d invalid", l.k, l.stride)
+			}
+			oh := (s.h-l.k)/l.stride + 1
+			if s.h < l.k || oh < 1 {
+				return fail("%dx%d window does not fit %dx%d input", l.k, l.k, s.h, s.h)
+			}
+			s.h = oh
+		case "bn":
+			if err := needSpatial(); err != nil {
+				return s, err
+			}
+		case "gap":
+			if err := needSpatial(); err != nil {
+				return s, err
+			}
+			s.flat, s.feat = true, s.c
+		case "flatten":
+			if err := needSpatial(); err != nil {
+				return s, err
+			}
+			s.flat, s.feat = true, s.c*s.h*s.h
+		case "dense":
+			if !s.flat {
+				return fail("needs flat features; add Flatten or GlobalAvgPool first")
+			}
+			if l.out <= 0 {
+				return fail("output features must be positive, got %d", l.out)
+			}
+			s.feat = l.out
+		case "relu", "tanh":
+			// Shape-preserving in either regime.
+		default:
+			return fail("unknown layer kind")
+		}
+	}
+	return s, nil
+}
+
+// materialize turns a validated plan into the nn layers the engine
+// trains.
+func materialize(r *tensor.RNG, layers []Layer, inC, imgSize int) *nn.Sequential {
+	s := planShape{c: inC, h: imgSize}
+	seq := nn.NewSequential()
+	for _, l := range layers {
+		switch l.kind {
+		case "conv":
+			seq.Add(nn.NewConv2D(r, s.c, l.out, l.k, l.stride, l.pad))
+			s.h = (s.h+2*l.pad-l.k)/l.stride + 1
+			s.c = l.out
+		case "dwconv":
+			seq.Add(nn.NewDepthwiseConv2D(r, s.c, l.k, l.stride, l.pad))
+			s.h = (s.h+2*l.pad-l.k)/l.stride + 1
+		case "maxpool":
+			seq.Add(nn.NewMaxPool2D(l.k, l.stride))
+			s.h = (s.h-l.k)/l.stride + 1
+		case "bn":
+			seq.Add(nn.NewBatchNorm2D(s.c))
+		case "gap":
+			seq.Add(nn.NewGlobalAvgPool())
+			s.flat, s.feat = true, s.c
+		case "flatten":
+			seq.Add(nn.NewFlatten())
+			s.flat, s.feat = true, s.c*s.h*s.h
+		case "dense":
+			seq.Add(nn.NewDense(r, s.feat, l.out))
+			s.feat = l.out
+		case "relu":
+			seq.Add(nn.NewReLU())
+		case "tanh":
+			seq.Add(nn.NewTanh())
+		}
+	}
+	return seq
+}
+
+// registerProbes are the (channels, size, classes) geometries a plan
+// must survive at registration time: every catalog dataset is 1- or
+// 3-channel at the micro size of 8, with 2–47 classes.
+var registerProbes = [][3]int{{1, 8, 10}, {3, 8, 10}, {1, 8, 2}, {3, 8, 47}}
+
+// RegisterModel adds a model to the catalog served by Models(),
+// Run/Submit's Config.Model, and the unknown-model error listing. The
+// spec is validated up front (wrapping ErrBadModelSpec): paper-scale
+// costs must be positive and the Micro plan must type-check — every
+// window fits, Dense fan-ins resolve, and the final feature count
+// equals the class count — over the catalog's input geometries.
+// Registering an existing name, including a builtin, is an error.
+func RegisterModel(name string, spec ModelSpec) error {
+	if name == "" {
+		return fmt.Errorf("%w: model name must be non-empty", ErrBadModelSpec)
+	}
+	if spec.Micro == nil {
+		return fmt.Errorf("%w: %q: Micro plan is required", ErrBadModelSpec, name)
+	}
+	if spec.Params <= 0 {
+		return fmt.Errorf("%w: %q: Params must be positive (paper-scale parameter count)", ErrBadModelSpec, name)
+	}
+	if spec.ForwardGFLOPs <= 0 {
+		return fmt.Errorf("%w: %q: ForwardGFLOPs must be positive", ErrBadModelSpec, name)
+	}
+	if spec.NPUSpeedup < 0 {
+		return fmt.Errorf("%w: %q: NPUSpeedup cannot be negative", ErrBadModelSpec, name)
+	}
+	if spec.EpochsToConverge < 0 {
+		return fmt.Errorf("%w: %q: EpochsToConverge cannot be negative", ErrBadModelSpec, name)
+	}
+	if spec.NPUSpeedup == 0 {
+		spec.NPUSpeedup = 1
+	}
+	if spec.EpochsToConverge == 0 {
+		spec.EpochsToConverge = 50
+	}
+	for _, p := range registerProbes {
+		inC, size, classes := p[0], p[1], p[2]
+		plan := spec.Micro(inC, size, classes)
+		shape, err := inferPlan(plan, inC, size)
+		if err != nil {
+			return fmt.Errorf("%w: %q: plan for %d×%d×%d input: %v", ErrBadModelSpec, name, inC, size, size, err)
+		}
+		if !shape.flat || shape.feat != classes {
+			return fmt.Errorf("%w: %q: plan for %d×%d×%d input must end with %d features (got %s)",
+				ErrBadModelSpec, name, inC, size, size, classes, describeShape(shape))
+		}
+	}
+	micro := spec.Micro
+	err := nn.Register(&nn.Spec{
+		Name:             name,
+		Params:           spec.Params,
+		ForwardGFLOPs:    spec.ForwardGFLOPs,
+		NPUSpeedup:       spec.NPUSpeedup,
+		EpochsToConverge: spec.EpochsToConverge,
+		BuildMicro: func(r *tensor.RNG, inC, imgSize, classes int) *nn.Sequential {
+			return materialize(r, micro(inC, imgSize, classes), inC, imgSize)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadModelSpec, err)
+	}
+	return nil
+}
+
+func describeShape(s planShape) string {
+	if s.flat {
+		return fmt.Sprintf("%d features", s.feat)
+	}
+	return fmt.Sprintf("%d×%d×%d maps", s.c, s.h, s.h)
+}

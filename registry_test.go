@@ -1,0 +1,162 @@
+package socflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyPlan is a valid micro architecture usable at every catalog
+// geometry: conv → pool → flatten → MLP head. The wide flattened
+// head gives it enough capacity to clear chance accuracy within a
+// few epochs on the micro datasets.
+func tinyPlan(inC, imgSize, classes int) []Layer {
+	return []Layer{
+		Conv2D(8, 3, 1, 1),
+		ReLU(),
+		MaxPool2D(2, 2),
+		Flatten(),
+		Dense(32),
+		ReLU(),
+		Dense(classes),
+	}
+}
+
+func TestRegisterModelTrainsViaRun(t *testing.T) {
+	const name = "tinynet-e2e"
+	if err := RegisterModel(name, ModelSpec{
+		Params:        80_000,
+		ForwardGFLOPs: 0.002,
+		Micro:         tinyPlan,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	found := false
+	for _, m := range Models() {
+		if m == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered model missing from catalog %v", Models())
+	}
+
+	cfg := fastCfg("")
+	cfg.Model = name
+	cfg.Epochs = 3
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != name || len(rep.EpochAccuracies) != 3 {
+		t.Fatalf("registered model did not train: %+v", rep)
+	}
+	if rep.BestAccuracy <= 0.1 {
+		t.Fatalf("registered model did not learn: %v", rep.BestAccuracy)
+	}
+
+	// The unknown-model error keeps listing the registered name.
+	cfg.Model = "no-such-model"
+	_, err = Run(context.Background(), cfg)
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("want ErrUnknownModel, got %v", err)
+	}
+	if !strings.Contains(err.Error(), name) {
+		t.Fatalf("unknown-model listing should include %q: %v", name, err)
+	}
+}
+
+// TestRegisterModelEveryConstructor exercises the DSL constructors the
+// main test's plan omits — DepthwiseConv2D, BatchNorm, Tanh,
+// GlobalAvgPool — and checks the materialized model trains end to end.
+func TestRegisterModelEveryConstructor(t *testing.T) {
+	const name = "tinynet-dsl"
+	err := RegisterModel(name, ModelSpec{
+		Params:        50_000,
+		ForwardGFLOPs: 0.001,
+		Micro: func(inC, imgSize, classes int) []Layer {
+			return []Layer{
+				Conv2D(6, 3, 1, 1),
+				BatchNorm(),
+				Tanh(),
+				MaxPool2D(2, 2),
+				DepthwiseConv2D(3, 1, 1),
+				ReLU(),
+				GlobalAvgPool(),
+				Dense(16),
+				ReLU(),
+				Dense(classes),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg("")
+	cfg.Model = name
+	cfg.Epochs = 2
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterModelRejections(t *testing.T) {
+	valid := ModelSpec{Params: 1000, ForwardGFLOPs: 0.001, Micro: tinyPlan}
+	cases := []struct {
+		name string
+		id   string
+		spec ModelSpec
+	}{
+		{"empty name", "", valid},
+		{"nil micro", "r1", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001}},
+		{"zero params", "r2", ModelSpec{ForwardGFLOPs: 0.001, Micro: tinyPlan}},
+		{"zero gflops", "r3", ModelSpec{Params: 1000, Micro: tinyPlan}},
+		{"negative speedup", "r4", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001, NPUSpeedup: -1, Micro: tinyPlan}},
+		{"builtin shadow", "lenet5", valid},
+		{"dense before flatten", "r5", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer {
+				return []Layer{Conv2D(4, 3, 1, 1), Dense(classes)}
+			}}},
+		{"window too large", "r6", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer {
+				return []Layer{Conv2D(4, 16, 1, 0), GlobalAvgPool(), Dense(classes)}
+			}}},
+		{"conv after flatten", "r7", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer {
+				return []Layer{Flatten(), Conv2D(4, 3, 1, 1), Dense(classes)}
+			}}},
+		{"wrong head width", "r8", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer {
+				return []Layer{Conv2D(4, 3, 1, 1), GlobalAvgPool(), Dense(7)}
+			}}},
+		{"no head", "r9", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer {
+				return []Layer{Conv2D(4, 3, 1, 1), ReLU()}
+			}}},
+		{"empty plan", "r10", ModelSpec{Params: 1000, ForwardGFLOPs: 0.001,
+			Micro: func(inC, imgSize, classes int) []Layer { return nil }}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := RegisterModel(c.id, c.spec)
+			if err == nil {
+				t.Fatal("want rejection")
+			}
+			if !errors.Is(err, ErrBadModelSpec) {
+				t.Fatalf("want errors.Is(ErrBadModelSpec), got %v", err)
+			}
+		})
+	}
+}
+
+func TestRegisterModelDuplicate(t *testing.T) {
+	spec := ModelSpec{Params: 1000, ForwardGFLOPs: 0.001, Micro: tinyPlan}
+	if err := RegisterModel("tinynet-dup", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterModel("tinynet-dup", spec); !errors.Is(err, ErrBadModelSpec) {
+		t.Fatalf("duplicate registration must fail with ErrBadModelSpec, got %v", err)
+	}
+}

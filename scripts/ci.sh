@@ -16,6 +16,9 @@ go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
 # The metrics registry is written to from every worker goroutine at
 # once; run its whole suite under the race detector.
 go test -race -count 2 ./internal/metrics
+# Control-plane smoke gate: daemon + two tenants' jobs over HTTP with
+# quota enforcement, under the race detector.
+make server-smoke
 # Elastic-recovery chaos gate: seeded randomized fault schedules
 # (crash windows, rejoins, stragglers, link drops) must converge or
 # tear down cleanly under the race detector.

@@ -1,0 +1,92 @@
+package socflow
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestServerSmokeHTTP is the `make server-smoke` gate: a daemon (the
+// same handler cmd/socflow-server serves) takes jobs from two tenants
+// over real HTTP, enforces their quotas, and returns full reports.
+func TestServerSmokeHTTP(t *testing.T) {
+	srv := NewServer(ServerConfig{
+		TotalSoCs: 32,
+		Quotas: map[string]Quota{
+			"team-a": {MaxRunningJobs: 1},
+			"team-b": {MaxRunningJobs: 1, MaxSoCs: 8},
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL)
+	ctx := context.Background()
+
+	cfg := ctlCfg(4, 3)
+
+	// Two jobs per tenant: each tenant's second job must queue behind
+	// its first (MaxRunningJobs 1) and still complete.
+	var wg sync.WaitGroup
+	reports := make([][]*Report, 2)
+	for ti, tenant := range []string{"team-a", "team-b"} {
+		reports[ti] = make([]*Report, 2)
+		for ji := 0; ji < 2; ji++ {
+			h, err := cl.Submit(ctx, cfg, WithTenant(tenant))
+			if err != nil {
+				t.Fatalf("%s job %d: %v", tenant, ji, err)
+			}
+			wg.Add(1)
+			go func(ti, ji int, h *JobHandle) {
+				defer wg.Done()
+				rep, err := h.Wait(ctx)
+				if err != nil {
+					t.Errorf("wait %d/%d: %v", ti, ji, err)
+					return
+				}
+				reports[ti][ji] = rep
+			}(ti, ji, h)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for ti, tenant := range []string{"team-a", "team-b"} {
+		for ji, rep := range reports[ti] {
+			if rep == nil || len(rep.EpochAccuracies) != 3 {
+				t.Fatalf("%s job %d report incomplete: %+v", tenant, ji, rep)
+			}
+		}
+		if peak := srv.PeakRunning(tenant); peak != 1 {
+			t.Fatalf("%s quota not held over HTTP: peak running %d, want 1", tenant, peak)
+		}
+	}
+
+	// Determinism survives the HTTP round trip: both tenants ran the
+	// same seeded config, so all four reports must agree bit for bit.
+	want := reports[0][0].EpochAccuracies
+	for ti := range reports {
+		for ji, rep := range reports[ti] {
+			for e := range want {
+				if rep.EpochAccuracies[e] != want[e] {
+					t.Fatalf("job %d/%d epoch %d: %v != %v", ti, ji, e, rep.EpochAccuracies[e], want[e])
+				}
+			}
+		}
+	}
+
+	// Quota violations surface as typed HTTP errors at submit time.
+	big := ctlCfg(16, 2)
+	if _, err := cl.Submit(ctx, big, WithTenant("team-b")); err == nil ||
+		!strings.Contains(err.Error(), "403") {
+		t.Fatalf("over-MaxSoCs submit should 403, got %v", err)
+	}
+
+	// The daemon's status listing covers every submitted job.
+	if got := len(srv.List()); got != 4 {
+		t.Fatalf("job listing has %d entries, want 4", got)
+	}
+}

@@ -164,53 +164,18 @@ type Report struct {
 // stops training between iterations and returns ctx.Err(). Options
 // tune execution (parallelism, tracing, logging) without changing
 // results: seeded runs are bit-identical at every parallelism level.
-func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
-	o := gatherOptions(opts)
-	defer o.apply()()
-
-	cfg = cfg.withDefaults()
-	job, clu, err := buildJob(cfg)
-	if err != nil {
-		return nil, err
-	}
-	reg := o.registry()
-	o.subscribe(reg)
-	job.Metrics = reg
-	if store, err := o.checkpointStore(); err != nil {
-		return nil, err
-	} else if store != nil {
-		job.Checkpoints = store
-		job.CheckpointEvery = o.checkpointEvery
-	}
-	if o.recovery {
-		job.MaxEpochRetries = o.maxRetries
-		job.RetryBackoff = o.retryBackoff
-	}
-	strat, err := buildStrategy(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if o.logger != nil {
-		o.logger.Printf("run: %s on %s/%s, %d SoCs", strat.Name(), cfg.Model, cfg.Dataset, cfg.NumSoCs)
-	}
-	finish := core.BeginKernelHarvest(reg)
-	span := reg.BeginSpan("run", "facade", 0)
-	res, err := strat.Run(ctx, job, clu)
-	span.End()
-	finish()
-	if err != nil {
-		return nil, err
-	}
-	rep := reportFrom(cfg, job, res)
-	rep.Metrics = reg.Snapshot()
-	return rep, nil
-}
-
-// RunDefault is the old zero-option entry point.
 //
-// Deprecated: use Run with a context and options.
-func RunDefault(cfg Config) (*Report, error) {
-	return Run(context.Background(), cfg)
+// Run is a submit-and-wait wrapper over the in-process control plane:
+// the job flows through the same scheduler as Client.Submit and a
+// socflow-server daemon, against an unbounded cluster so it starts
+// immediately. For concurrent jobs, quotas, priorities, and preemption,
+// use NewServer/Client directly.
+func Run(ctx context.Context, cfg Config, opts ...Option) (*Report, error) {
+	h, err := defaultClient().Submit(ctx, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(ctx)
 }
 
 func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
@@ -300,26 +265,5 @@ func mixedMode(s string) (core.MixedMode, error) {
 		return core.MixedHalf, nil
 	default:
 		return 0, fmt.Errorf("%w: %q", ErrUnknownMixedMode, s)
-	}
-}
-
-func reportFrom(cfg Config, job *core.Job, res *core.Result) *Report {
-	return &Report{
-		Strategy:                 res.Strategy,
-		Model:                    cfg.Model,
-		Dataset:                  cfg.Dataset,
-		EpochAccuracies:          res.EpochAccuracies,
-		FinalAccuracy:            res.FinalAccuracy,
-		BestAccuracy:             res.BestAccuracy,
-		SimSeconds:               res.SimSeconds,
-		MeanEpochSeconds:         res.MeanEpochSimSeconds(),
-		EnergyKJ:                 res.EnergyJ / 1000,
-		ComputeSeconds:           res.Breakdown.Compute,
-		SyncSeconds:              res.Breakdown.Sync,
-		UpdateSeconds:            res.Breakdown.Update,
-		EpochsToTarget:           res.EpochsToTarget,
-		SimSecondsToTarget:       res.SimSecondsToTarget,
-		EstimatedHoursToConverge: res.MeanEpochSimSeconds() * float64(job.Spec.EpochsToConverge) / 3600,
-		Preemptions:              res.Preemptions,
 	}
 }

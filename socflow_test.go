@@ -95,13 +95,36 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestRunDefaultWrapper(t *testing.T) {
-	rep, err := RunDefault(fastCfg(""))
+func TestSubmitWaitMatchesRun(t *testing.T) {
+	rep, err := Run(context.Background(), fastCfg(""))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.BestAccuracy <= 0.1 {
-		t.Fatalf("deprecated wrapper did not learn: %v", rep.BestAccuracy)
+	h, err := defaultClient().Submit(context.Background(), fastCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.EpochAccuracies) != len(rep.EpochAccuracies) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(got.EpochAccuracies), len(rep.EpochAccuracies))
+	}
+	for i := range got.EpochAccuracies {
+		if got.EpochAccuracies[i] != rep.EpochAccuracies[i] {
+			t.Fatalf("epoch %d: submit %v vs run %v", i, got.EpochAccuracies[i], rep.EpochAccuracies[i])
+		}
+	}
+	if got.SimSeconds != rep.SimSeconds {
+		t.Fatalf("sim time differs: %v vs %v", got.SimSeconds, rep.SimSeconds)
+	}
+	st, err := h.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("finished handle state = %s", st.State)
 	}
 }
 
@@ -121,9 +144,19 @@ func TestRunIsDeterministic(t *testing.T) {
 }
 
 func TestCatalogs(t *testing.T) {
-	if len(Models()) != 5 || len(Datasets()) != 5 || len(Strategies()) != 7 {
-		t.Fatalf("catalogs: %d models, %d datasets, %d strategies",
-			len(Models()), len(Datasets()), len(Strategies()))
+	// The model catalog is a registry other tests may extend, so check
+	// containment of the five built-ins rather than an exact count.
+	have := map[string]bool{}
+	for _, m := range Models() {
+		have[m] = true
+	}
+	for _, m := range []string{"lenet5", "vgg11", "resnet18", "mobilenetv1", "resnet50"} {
+		if !have[m] {
+			t.Fatalf("builtin model %q missing from catalog %v", m, Models())
+		}
+	}
+	if len(Datasets()) != 5 || len(Strategies()) != 7 {
+		t.Fatalf("catalogs: %d datasets, %d strategies", len(Datasets()), len(Strategies()))
 	}
 }
 
@@ -190,7 +223,7 @@ func TestRunDistributedFacade(t *testing.T) {
 }
 
 func TestRunDistributedFacadeTCP(t *testing.T) {
-	rep, err := RunDistributedDefault(DistributedConfig{
+	rep, err := RunDistributed(context.Background(), DistributedConfig{
 		JobSpec: JobSpec{
 			Epochs:       2,
 			TrainSamples: 160,
