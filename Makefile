@@ -33,10 +33,11 @@ server-smoke:
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
 
-# Allocation-regression gate: reruns the hot-path benchmarks with
-# -benchmem, compares parallelism=1 allocs/op against the committed
-# baseline (scripts/bench_baseline.txt), fails on a >10% regression,
-# and emits BENCH_pr4.json.
+# Benchmark-regression gate: reruns the hot-path benchmarks with
+# -benchmem and compares them against the committed baseline
+# (scripts/bench_baseline.txt). Fails on a >10% allocs/op regression
+# (parallelism 1 and 4) or a >35% parallelism=1 ns/op regression, and
+# emits BENCH_pr7.json with the speedup record.
 bench-compare:
 	./scripts/bench_compare.sh
 

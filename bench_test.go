@@ -218,10 +218,12 @@ func BenchmarkQuickstartRun(b *testing.B) {
 }
 
 // benchWorkerCounts is the parallelism sweep for the host-parallelism
-// benchmarks: sequential, two workers, and the full machine.
+// benchmarks: sequential, two and four workers (four is the
+// allocation-gate configuration for parallel kernels even on smaller
+// hosts), and the full machine when it is larger.
 func benchWorkerCounts() []int {
-	counts := []int{1, 2}
-	if n := runtime.NumCPU(); n > 2 {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
 		counts = append(counts, n)
 	}
 	return counts

@@ -12,6 +12,7 @@ import (
 	"socflow/internal/metrics"
 	"socflow/internal/nn"
 	"socflow/internal/parallel"
+	"socflow/internal/quant"
 	"socflow/internal/tensor"
 )
 
@@ -73,6 +74,10 @@ type SoCFlow struct {
 	// ForceShare fixes the CPU share to a constant in (0,1] instead of
 	// the α/β controller (0 keeps the controller; used by ablations).
 	ForceShare float64
+	// Int8Mul, when non-nil, runs the NPU replicas' conv and dense
+	// forwards through the true-INT8 kernels with this multiplier
+	// (see MixedPrecision.Int8Mul). nil keeps the simulated datapath.
+	Int8Mul quant.Multiplier
 	// Preempt optionally injects user-workload arrivals (co-location);
 	// see scheduler.go.
 	Preempt *PreemptionPlan
@@ -211,6 +216,7 @@ func (s *SoCFlow) Run(ctx context.Context, job *Job, clu *cluster.Cluster) (*Res
 		} else {
 			build := func() *nn.Sequential { return job.BuildModel(rng.Split(1)) }
 			gt.mp = NewMixedPrecision(ref, build, job.LR, job.Momentum, beta, rng)
+			gt.mp.Int8Mul = s.Int8Mul
 			switch s.Mixed {
 			case MixedINT8Only:
 				gt.mp.ForceCPUShare = 0

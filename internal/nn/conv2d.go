@@ -19,9 +19,14 @@ type Conv2D struct {
 	oh, ow  int
 
 	// Persistent buffers, sized on first batch and reused by capacity.
-	y, out          *tensor.Tensor // forward: pre-transpose rows, NCHW output
-	g2, dcols, dx   *tensor.Tensor // backward: NHWC grad, column grad, input grad
-	dwScr, dbScr    *tensor.Tensor // weight/bias gradient scratch
+	y, out        *tensor.Tensor // forward: pre-transpose rows, NCHW output
+	g2, dcols, dx *tensor.Tensor // backward: NHWC grad, column grad, input grad
+	dwScr, dbScr  *tensor.Tensor // weight/bias gradient scratch
+
+	// INT8 datapath buffers (ForwardVia): quantized im2col matrix and
+	// per-output-channel quantized weights.
+	qcols, qw []int8
+	wScales   []float32
 }
 
 // NewConv2D creates a conv layer with a square kernel, He init.
@@ -48,8 +53,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	tensor.Im2ColInto(c.cols, x, c.P) // [N*OH*OW, InC*K*K]
 	// y = cols · Wᵀ  -> [N*OH*OW, OutC]
 	c.y = ensureBuf(c.y, n*c.oh*c.ow, c.OutC)
-	tensor.MatMulT2Into(c.y, c.cols, c.Weight.W)
-	tensor.AddRowVector(c.y, c.Bias.W)
+	tensor.MatMulT2BiasInto(c.y, c.cols, c.Weight.W, c.Bias.W)
 	// Rearrange [N, OH, OW, OutC] -> [N, OutC, OH, OW].
 	c.out = ensureBuf(c.out, n, c.OutC, c.oh, c.ow)
 	nhwcToNCHWInto(c.out, c.y, n, c.oh, c.ow, c.OutC)

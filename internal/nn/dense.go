@@ -13,6 +13,9 @@ type Dense struct {
 	// Persistent buffers, sized on first batch and reused by capacity.
 	y, dx        *tensor.Tensor
 	dwScr, dbScr *tensor.Tensor
+
+	// INT8 datapath buffers (ForwardVia): quantized input and weights.
+	qx, qw []int8
 }
 
 // NewDense creates a dense layer with He initialization (suited to the
@@ -32,8 +35,7 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	lstatDenseFwd.Add(1)
 	d.x = x
 	d.y = ensureBuf(d.y, x.Shape[0], d.Out)
-	tensor.MatMulInto(d.y, x, d.Weight.W)
-	tensor.AddRowVector(d.y, d.Bias.W)
+	tensor.MatMulBiasInto(d.y, x, d.Weight.W, d.Bias.W)
 	return d.y
 }
 

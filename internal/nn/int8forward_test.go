@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"socflow/internal/quant"
+	"socflow/internal/tensor"
+)
+
+func cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TestConv2DForwardViaApproximatesFloat checks the INT8 conv datapath:
+// the integer result must track the float path within quantization
+// error, and the backward caches it populates must support a full
+// Backward pass.
+func TestConv2DForwardViaApproximatesFloat(t *testing.T) {
+	r := tensor.NewRNG(31)
+	c := NewConv2D(r, 3, 8, 3, 1, 1)
+	for i := range c.Bias.W.Data {
+		c.Bias.W.Data[i] = 0.05 * float32(i)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(32), 0, 1, 2, 3, 8, 8)
+
+	want := c.Forward(x, true).Clone()
+	got := c.ForwardVia(x, quant.Exact{})
+	if !want.SameShape(got) {
+		t.Fatalf("shape mismatch %v vs %v", want.Shape, got.Shape)
+	}
+	if cos := cosine(want.Data, got.Data); cos < 0.999 {
+		t.Fatalf("INT8 conv diverged from float path: cosine %v", cos)
+	}
+	// The integer path is genuinely quantized, not the float path in
+	// disguise: some outputs must differ.
+	same := 0
+	for i := range want.Data {
+		if want.Data[i] == got.Data[i] {
+			same++
+		}
+	}
+	if same == len(want.Data) {
+		t.Fatalf("INT8 conv output is bit-identical to float32 — not quantized")
+	}
+
+	g := tensor.RandNormal(tensor.NewRNG(33), 0, 1, got.Shape...)
+	dx := c.Backward(g)
+	for i, v := range dx.Data {
+		if v != v {
+			t.Fatalf("backward after ForwardVia produced NaN at %d", i)
+		}
+	}
+}
+
+func TestDenseForwardViaApproximatesFloat(t *testing.T) {
+	r := tensor.NewRNG(34)
+	d := NewDense(r, 12, 7)
+	for i := range d.Bias.W.Data {
+		d.Bias.W.Data[i] = 0.1 * float32(i)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(35), 0, 1, 5, 12)
+
+	want := d.Forward(x, true).Clone()
+	got := d.ForwardVia(x, quant.Exact{})
+	if cos := cosine(want.Data, got.Data); cos < 0.999 {
+		t.Fatalf("INT8 dense diverged from float path: cosine %v", cos)
+	}
+
+	g := tensor.RandNormal(tensor.NewRNG(36), 0, 1, got.Shape...)
+	dx := d.Backward(g)
+	for i, v := range dx.Data {
+		if v != v {
+			t.Fatalf("backward after ForwardVia produced NaN at %d", i)
+		}
+	}
+}
+
+// TestForwardViaMitchellUnderestimates pins the observable signature of
+// the approximate multiplier: Mitchell never overestimates a product's
+// magnitude, so the integer accumulations — and in aggregate the layer
+// outputs — shrink relative to the exact multiplier.
+func TestForwardViaMitchellUnderestimates(t *testing.T) {
+	r := tensor.NewRNG(37)
+	d := NewDense(r, 64, 16)
+	x := tensor.RandNormal(tensor.NewRNG(38), 0, 1, 8, 64)
+
+	exact := d.ForwardVia(x, quant.Exact{}).Clone()
+	mitch := d.ForwardVia(x, quant.NewLUT(quant.Mitchell{}.Mul))
+	var ne, nm float64
+	for i := range exact.Data {
+		ne += float64(exact.Data[i]) * float64(exact.Data[i])
+		nm += float64(mitch.Data[i]) * float64(mitch.Data[i])
+	}
+	if ne == 0 || nm >= ne {
+		t.Fatalf("Mitchell output norm %v not below exact norm %v", math.Sqrt(nm), math.Sqrt(ne))
+	}
+	if cos := cosine(exact.Data, mitch.Data); cos < 0.98 {
+		t.Fatalf("Mitchell output unrecognizable: cosine %v", cos)
+	}
+}

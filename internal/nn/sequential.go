@@ -18,6 +18,12 @@ type Sequential struct {
 	weights []*tensor.Tensor
 	grads   []*tensor.Tensor
 	state   []*tensor.Tensor
+
+	// Forward execution plan with conv blocks fused (see fused.go),
+	// built lazily and invalidated by Add. Backward always walks the
+	// raw layer list.
+	plan      []planStep
+	planBuilt bool
 }
 
 // NewSequential builds a model from the given layers.
@@ -27,12 +33,20 @@ func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: lay
 func (s *Sequential) Add(l Layer) {
 	s.Layers = append(s.Layers, l)
 	s.params, s.weights, s.grads, s.state = nil, nil, nil, nil
+	s.plan, s.planBuilt = nil, false
 }
 
 // Forward implements Layer.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	for _, l := range s.Layers {
-		x = l.Forward(x, train)
+	if !s.planBuilt {
+		s.buildPlan()
+	}
+	for _, st := range s.plan {
+		if st.fused != nil {
+			x = st.fused.forward(x, train)
+		} else {
+			x = st.layer.Forward(x, train)
+		}
 	}
 	return x
 }

@@ -1,0 +1,200 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"socflow/internal/tensor"
+)
+
+func refInt8T2(a []int8, sa float32, b []int8, sb []float32, bias []float32, m, k, n int, mul Multiplier) []float32 {
+	dst := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += mul.Mul(a[i*k+p], b[j*k+p])
+			}
+			v := float32(acc) * (sa * sb[j])
+			if bias != nil {
+				v += bias[j]
+			}
+			dst[i*n+j] = v
+		}
+	}
+	return dst
+}
+
+func randCodes(r *tensor.RNG, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(int(r.Float64()*255) - 127)
+	}
+	return out
+}
+
+func TestInt8MatMulT2MatchesReference(t *testing.T) {
+	r := tensor.NewRNG(21)
+	const m, k, n = 7, 13, 5
+	a := randCodes(r, m*k)
+	b := randCodes(r, n*k)
+	sb := make([]float32, n)
+	for j := range sb {
+		sb[j] = 0.01 * float32(j+1)
+	}
+	bias := []float32{0.5, -0.25, 0, 1, -1}
+	for _, mul := range []Multiplier{Exact{}, NewLUT(Exact{}.Mul), NewLUT(Mitchell{}.Mul)} {
+		want := refInt8T2(a, 0.02, b, sb, bias, m, k, n, mul)
+		got := make([]float32, m*n)
+		Int8MatMulT2(got, a, 0.02, b, sb, bias, m, k, n, mul)
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("mul %T: dst[%d] = %v, want %v", mul, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInt8MatMulMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(22)
+	const m, k, n = 4, 9, 6
+	a := randCodes(r, m*k)
+	b := randCodes(r, k*n)
+	for _, mul := range []Multiplier{Exact{}, NewLUT(Mitchell{}.Mul)} {
+		want := make([]float32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc int32
+				for p := 0; p < k; p++ {
+					acc += mul.Mul(a[i*k+p], b[p*n+j])
+				}
+				want[i*n+j] = float32(acc) * (0.03 * 0.05)
+			}
+		}
+		got := make([]float32, m*n)
+		Int8MatMul(got, a, 0.03, b, 0.05, nil, m, k, n, mul)
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("mul %T: dst[%d] = %v, want %v", mul, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLUTTabulatesExactly pins that a LUT built from a function returns
+// that function's value for every operand pair, including the corners.
+func TestLUTTabulatesExactly(t *testing.T) {
+	l := NewLUT(Exact{}.Mul)
+	for a := -128; a <= 127; a++ {
+		for b := -128; b <= 127; b++ {
+			if got, want := l.Mul(int8(a), int8(b)), int32(a)*int32(b); got != want {
+				t.Fatalf("LUT(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMitchellProperties checks the known behaviour of Mitchell's
+// logarithmic multiplier: exact on powers of two and zero, correct
+// sign, never overestimating, and within the classic ≈11.1% error
+// bound everywhere.
+func TestMitchellProperties(t *testing.T) {
+	var mul Mitchell
+	for a := -128; a <= 127; a++ {
+		for b := -128; b <= 127; b++ {
+			got := mul.Mul(int8(a), int8(b))
+			exact := int32(a) * int32(b)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("Mitchell(%d,%d) = %d, want 0", a, b, got)
+				}
+				continue
+			}
+			if (got < 0) != (exact < 0) {
+				t.Fatalf("Mitchell(%d,%d) = %d: wrong sign (exact %d)", a, b, got, exact)
+			}
+			ag, ae := got, exact
+			if ag < 0 {
+				ag, ae = -ag, -ae
+			}
+			if ag > ae {
+				t.Fatalf("Mitchell(%d,%d) = %d overestimates exact %d", a, b, got, exact)
+			}
+			// Max underestimate of the log-linear approximation is
+			// (1+f1)(1+f2)/(1+f1+f2) ≤ 9/8 at f1=f2=1/2, i.e. ≈11.1%,
+			// plus one ulp of q16 truncation.
+			if float64(ag) < float64(ae)*(8.0/9.0)-1 {
+				t.Fatalf("Mitchell(%d,%d) = %d: error beyond 11.1%% bound (exact %d)", a, b, got, exact)
+			}
+		}
+	}
+	// Powers of two multiply exactly.
+	for _, a := range []int8{1, 2, 4, 8, 16, 32, 64, -64, -2} {
+		for _, b := range []int8{1, 2, 4, 8, 16, 32, -8} {
+			if got, want := mul.Mul(a, b), int32(a)*int32(b); got != want {
+				t.Fatalf("Mitchell(%d,%d) = %d, want exact %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiplierByName(t *testing.T) {
+	if m, err := MultiplierByName(""); err != nil || m != nil {
+		t.Fatalf("empty name: got %v, %v", m, err)
+	}
+	if m, err := MultiplierByName("exact"); err != nil || m == nil {
+		t.Fatalf("exact: got %v, %v", m, err)
+	} else if m.Mul(-7, 9) != -63 {
+		t.Fatalf("exact multiplier is wrong")
+	}
+	if m, err := MultiplierByName("mitchell"); err != nil || m == nil {
+		t.Fatalf("mitchell: got %v, %v", m, err)
+	} else if m.Mul(4, 8) != 32 {
+		t.Fatalf("mitchell multiplier wrong on power of two")
+	}
+	if _, err := MultiplierByName("bogus"); err == nil {
+		t.Fatalf("bogus name accepted")
+	}
+}
+
+func TestQuantizeSliceRoundTrip(t *testing.T) {
+	src := []float32{-2, -1, 0, 0.5, 1, 2}
+	codes := make([]int8, len(src))
+	s := QuantizeSlice(codes, src)
+	for i, v := range src {
+		got := float32(codes[i]) * s
+		if d := got - v; d > s/2+1e-6 || d < -s/2-1e-6 {
+			t.Fatalf("code %d dequantizes to %v, want within half a step of %v", codes[i], got, v)
+		}
+	}
+	if codes[0] != -127 {
+		t.Fatalf("absmax element must map to -127, got %d", codes[0])
+	}
+}
+
+func TestQuantizeSlicePoisonsOnNaN(t *testing.T) {
+	src := []float32{1, float32(math.NaN()), 2}
+	codes := make([]int8, len(src))
+	if s := QuantizeSlice(codes, src); !isNaN32(s) {
+		t.Fatalf("NaN element produced finite scale %v", s)
+	}
+	// The NaN scale poisons every GEMM output through the rescale.
+	dst := make([]float32, 1)
+	Int8MatMulT2(dst, []int8{1, 1, 1}, nan32(), []int8{1, 1, 1}, []float32{1}, nil, 1, 3, 1, Exact{})
+	if !isNaN32(dst[0]) {
+		t.Fatalf("NaN activation scale did not poison the GEMM output: %v", dst[0])
+	}
+}
+
+func TestQuantizeRowsPerChannelScales(t *testing.T) {
+	src := []float32{1, -1, 0.5, 0, 100, -50, 25, 10}
+	codes := make([]int8, len(src))
+	scales := make([]float32, 2)
+	QuantizeRows(codes, scales, src, 2)
+	if scales[0] == scales[1] {
+		t.Fatalf("rows with different ranges got the same scale %v", scales[0])
+	}
+	if codes[0] != 127 || codes[4] != 127 {
+		t.Fatalf("each row's absmax must map to ±127: got %d, %d", codes[0], codes[4])
+	}
+}

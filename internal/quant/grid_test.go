@@ -1,0 +1,92 @@
+package quant
+
+import (
+	"testing"
+
+	"socflow/internal/tensor"
+)
+
+// The symmetric grid's scale is absMax/127, so the representable codes
+// are exactly [-127, 127]: code -128 dequantizes to a magnitude ABOVE
+// absMax, off the grid, and (because it only ever appears on the
+// negative side) biases updates negative. clampInt8 used to admit -128.
+
+func TestClampInt8SymmetricGrid(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int8
+	}{
+		{-127.0000076, -127}, // the value a tensor pinned at -absMax round-trips to
+		{-128, -127},
+		{-1e9, -127},
+		{127.5, 127},
+		{1e9, 127},
+		{-126.4, -126},
+		{126.4, 126},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := clampInt8(c.in); got != c.want {
+			t.Errorf("clampInt8(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestStochasticQuantizePinnedAtNegAbsMax is the end-to-end form: a
+// tensor pinned at -absMax maps to x slightly below -127 after the
+// scale round-trip (absMax=0.001 gives x ≈ -127.0000076, so each
+// element floors to -128 with probability ≈ 7.6e-6). Over a million
+// elements the pre-fix code emits -128 with near certainty.
+func TestStochasticQuantizePinnedAtNegAbsMax(t *testing.T) {
+	const absMax = 0.001
+	x := tensor.New(1 << 20)
+	for i := range x.Data {
+		x.Data[i] = -absMax
+	}
+	q := QuantizeStochastic(x, tensor.NewRNG(9))
+	for i, c := range q.Codes {
+		if c < -127 {
+			t.Fatalf("code %d at %d escaped the symmetric grid [-127, 127]", c, i)
+		}
+	}
+}
+
+// TestInt8SGDStepStaysOnGrid drives the update far past the negative
+// grid edge: the clamp must land on -127 (magnitude exactly 127·scale),
+// never -128.
+func TestInt8SGDStepStaysOnGrid(t *testing.T) {
+	w := tensor.New(2, 16)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	g := tensor.New(2, 16)
+	for i := range g.Data {
+		g.Data[i] = 50 // update overshoots the grid by orders of magnitude
+	}
+	opt := &Int8SGD{LR: 1, RNG: tensor.NewRNG(11)}
+	limit := scaleFor(0.5*headroom) * 127
+	opt.Step(w, g)
+	for i, v := range w.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("w[%d] = %v escaped the grid (limit %v): code -128 admitted", i, v, limit)
+		}
+	}
+}
+
+// TestStochasticPerChannelStaysOnGrid covers the in-place per-channel
+// stochastic path with rows pinned at their negative absmax.
+func TestStochasticPerChannelStaysOnGrid(t *testing.T) {
+	const absMax = 0.001
+	x := tensor.New(4, 1<<18)
+	for i := range x.Data {
+		x.Data[i] = -absMax
+	}
+	QuantizeStochasticPerChannelInPlace(x, tensor.NewRNG(13))
+	scale := scaleFor(absMax)
+	limit := scale * 127
+	for i, v := range x.Data {
+		if v < -limit {
+			t.Fatalf("x[%d] = %v below -127·scale = %v", i, v, -limit)
+		}
+	}
+}

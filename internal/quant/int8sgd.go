@@ -110,6 +110,12 @@ func (o *Int8SGD) Step(w, g *tensor.Tensor) {
 		inv := 1 / scale
 		for i := range row {
 			x := float64((row[i] - o.LR*grow[i]) * inv)
+			if x != x {
+				// NaN weight, gradient, or scale: keep the poison
+				// explicit instead of feeding NaN to int8 conversion.
+				row[i] = nan32()
+				continue
+			}
 			lo := math.Floor(x)
 			r := lo
 			if o.RNG.Float64() < x-lo {
@@ -158,11 +164,6 @@ func (o *Int8SGD) Requantize(w *tensor.Tensor) {
 		}
 	}
 	for c := 0; c < ch; c++ {
-		scale := s[c]
-		inv := 1 / scale
-		row := w.Data[c*stride : (c+1)*stride]
-		for i, v := range row {
-			row[i] = float32(clampInt8(math.Round(float64(v*inv)))) * scale
-		}
+		fakeQuantRange(w.Data[c*stride:(c+1)*stride], w.Data[c*stride:(c+1)*stride], s[c])
 	}
 }

@@ -39,8 +39,19 @@ func Quantize(t *tensor.Tensor) *QTensor {
 		Codes: make([]int8, len(t.Data)),
 		Scale: scaleFor(t.AbsMax()),
 	}
+	if isNaN32(q.Scale) {
+		return q // poisoned: dequantizes to all-NaN
+	}
 	inv := 1 / q.Scale
 	for i, v := range t.Data {
+		if isNaN32(v) {
+			// AbsMax is NaN-blind, so a NaN element can reach here
+			// under a finite scale. int8 codes cannot carry NaN, so
+			// poison the whole tensor through the scale instead of
+			// silently converting NaN to a platform-dependent int8.
+			q.Scale = nan32()
+			return q
+		}
 		q.Codes[i] = clampInt8(math.Round(float64(v * inv)))
 	}
 	return q
@@ -58,8 +69,15 @@ func QuantizeStochastic(t *tensor.Tensor, rng *tensor.RNG) *QTensor {
 		Codes: make([]int8, len(t.Data)),
 		Scale: scaleFor(t.AbsMax()),
 	}
+	if isNaN32(q.Scale) {
+		return q // poisoned: dequantizes to all-NaN
+	}
 	inv := 1 / q.Scale
 	for i, v := range t.Data {
+		if isNaN32(v) {
+			q.Scale = nan32()
+			return q
+		}
 		x := float64(v * inv)
 		lo := math.Floor(x)
 		frac := x - lo
@@ -113,19 +131,33 @@ func FakeQuantizeInto(dst, t *tensor.Tensor) {
 	if len(dst.Data) != len(t.Data) {
 		panic(fmt.Sprintf("quant: FakeQuantizeInto size mismatch %v vs %v", dst.Shape, t.Shape))
 	}
-	s := scaleFor(t.AbsMax())
-	inv := 1 / s
-	for i, v := range t.Data {
-		dst.Data[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
-	}
+	fakeQuantRange(dst.Data, t.Data, scaleFor(t.AbsMax()))
 }
 
 // FakeQuantizeInPlace rounds t onto its INT8 grid in place.
 func FakeQuantizeInPlace(t *tensor.Tensor) {
-	s := scaleFor(t.AbsMax())
+	fakeQuantRange(t.Data, t.Data, scaleFor(t.AbsMax()))
+}
+
+// fakeQuantRange rounds src onto the grid of scale s into dst (which
+// may alias src). A NaN scale (non-finite absmax) poisons every output;
+// a NaN element under a finite scale stays NaN instead of passing
+// through the int8 conversion, so exploding-gradient evidence survives
+// quantization exactly as it survives the GEMM kernels.
+func fakeQuantRange(dst, src []float32, s float32) {
+	if isNaN32(s) {
+		for i := range dst {
+			dst[i] = nan32()
+		}
+		return
+	}
 	inv := 1 / s
-	for i, v := range t.Data {
-		t.Data[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
+	for i, v := range src {
+		if isNaN32(v) {
+			dst[i] = v
+			continue
+		}
+		dst[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
 	}
 }
 
@@ -141,22 +173,41 @@ func QuantError(t *tensor.Tensor) float32 {
 	return d.L2Norm() / n
 }
 
+// scaleFor maps an absolute maximum to the symmetric grid scale. A
+// non-finite absMax (Inf from an overflowed tensor; NaN cannot occur
+// since AbsMax skips NaN) yields a NaN scale, which every quantization
+// entry point treats as "poison the result" rather than producing
+// finite garbage.
 func scaleFor(absMax float32) float32 {
 	if absMax == 0 {
 		return 1
 	}
+	if isNaN32(absMax) || absMax > math.MaxFloat32 || absMax < -math.MaxFloat32 {
+		return nan32()
+	}
 	return absMax / 127
 }
 
+// clampInt8 clamps a rounded value onto the symmetric ±127 grid. The
+// scale is absMax/127, so code -128 would dequantize to a magnitude
+// *above* absMax — off the symmetric grid, biasing updates negative.
+// Stochastic rounding can produce -128 (a value pinned at -absMax maps
+// to -127-ε after the scale round-trip and rounds down), so the clamp
+// must be symmetric. Callers must filter NaN before clamping: int8(NaN)
+// is platform-dependent.
 func clampInt8(x float64) int8 {
 	if x > 127 {
 		return 127
 	}
-	if x < -128 {
-		return -128
+	if x < -127 {
+		return -127
 	}
 	return int8(x)
 }
+
+func isNaN32(v float32) bool { return v != v }
+
+func nan32() float32 { return float32(math.NaN()) }
 
 // LogitConfidence computes SoCFlow's α metric (Eq. 4): the cosine
 // similarity between the FP32 model's logits and the INT8 model's
@@ -202,11 +253,7 @@ func FakeQuantizePerChannelInPlace(t *tensor.Tensor) {
 				absMax = a
 			}
 		}
-		s := scaleFor(absMax)
-		inv := 1 / s
-		for i, v := range row {
-			row[i] = float32(clampInt8(math.Round(float64(v*inv)))) * s
-		}
+		fakeQuantRange(row, row, scaleFor(absMax))
 	}
 }
 
@@ -234,8 +281,17 @@ func QuantizeStochasticPerChannelInPlace(t *tensor.Tensor, rng *tensor.RNG) {
 			}
 		}
 		s := scaleFor(absMax)
+		if isNaN32(s) {
+			for i := range row {
+				row[i] = nan32()
+			}
+			continue
+		}
 		inv := 1 / s
 		for i, v := range row {
+			if isNaN32(v) {
+				continue // already NaN; int8(NaN) would destroy it
+			}
 			x := float64(v * inv)
 			lo := math.Floor(x)
 			r := lo

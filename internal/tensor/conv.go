@@ -66,27 +66,55 @@ func Im2ColInto(cols, x *Tensor, p ConvParams) {
 }
 
 // im2colImage unfolds one image's windows into its rows of the column
-// matrix.
+// matrix. The kx run of a window row is contiguous in the source image
+// (ix = ox*SW-PW+kx), so each (ch, ky) strip is one bulk copy with the
+// out-of-bounds edges zero-filled — pure data movement, bit-identical
+// to the per-element form.
 func im2colImage(cols, x []float32, colW, c, h, w, oh, ow int, p ConvParams, img int) {
 	base := img * c * h * w
 	row := img * oh * ow
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			dst := cols[row*colW : (row+1)*colW]
+			ix0 := ox*p.SW - p.PW
+			// Clip the kx range to the image: valid kx satisfy
+			// 0 <= ix0+kx < w.
+			k0, k1 := 0, p.KW
+			if ix0 < 0 {
+				k0 = -ix0
+			}
+			if ix0+k1 > w {
+				k1 = w - ix0
+			}
+			if k1 < k0 {
+				k1 = k0
+			}
 			di := 0
 			for ch := 0; ch < c; ch++ {
 				cbase := base + ch*h*w
 				for ky := 0; ky < p.KH; ky++ {
 					iy := oy*p.SH - p.PH + ky
-					for kx := 0; kx < p.KW; kx++ {
-						ix := ox*p.SW - p.PW + kx
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							dst[di] = x[cbase+iy*w+ix]
-						} else {
-							dst[di] = 0
+					if iy < 0 || iy >= h {
+						for i := di; i < di+p.KW; i++ {
+							dst[i] = 0
 						}
-						di++
+						di += p.KW
+						continue
 					}
+					for i := di; i < di+k0; i++ {
+						dst[i] = 0
+					}
+					// Runs are at most KW (3 or 5 in the model zoo)
+					// elements: an indexed loop beats memmove call
+					// overhead at that length.
+					sb := cbase + iy*w + ix0
+					for kx := k0; kx < k1; kx++ {
+						dst[di+kx] = x[sb+kx]
+					}
+					for i := di + k1; i < di+p.KW; i++ {
+						dst[i] = 0
+					}
+					di += p.KW
 				}
 			}
 			row++
@@ -142,18 +170,35 @@ func col2imImage(img, cols []float32, colW, c, h, w, oh, ow int, p ConvParams, i
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			src := cols[row*colW : (row+1)*colW]
+			// The kx run is contiguous in the image (ix = ix0+kx), so
+			// clip it once and accumulate without per-element bounds
+			// checks. Each image cell still receives its contributions
+			// in the original (oy, ox, ch, ky, kx) order, so the
+			// accumulated float result is bit-identical.
+			ix0 := ox*p.SW - p.PW
+			k0, k1 := 0, p.KW
+			if ix0 < 0 {
+				k0 = -ix0
+			}
+			if ix0+k1 > w {
+				k1 = w - ix0
+			}
+			if k1 < k0 {
+				k1 = k0
+			}
 			si := 0
 			for ch := 0; ch < c; ch++ {
 				cbase := base + ch*h*w
 				for ky := 0; ky < p.KH; ky++ {
 					iy := oy*p.SH - p.PH + ky
-					for kx := 0; kx < p.KW; kx++ {
-						ix := ox*p.SW - p.PW + kx
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							img[cbase+iy*w+ix] += src[si]
+					if iy >= 0 && iy < h {
+						dst := img[cbase+iy*w+ix0+k0 : cbase+iy*w+ix0+k1]
+						s := src[si+k0 : si+k1]
+						for i, v := range s {
+							dst[i] += v
 						}
-						si++
 					}
+					si += p.KW
 				}
 			}
 			row++
@@ -191,22 +236,64 @@ func MaxPoolInto(out *Tensor, arg []int, x *Tensor, p ConvParams) {
 	})
 }
 
-// maxPoolImage pools one image, recording argmax positions.
+// maxPoolImage pools one image, recording argmax positions. Windows
+// that sit fully inside the image (always, when padding is zero and the
+// kernel fits) take a branch-light path seeded from the window's first
+// element; it selects the same maximum and the same first-wins argmax
+// as the general path, which handles clipped edge windows.
 func maxPoolImage(out []float32, arg []int, x []float32, c, h, w, oh, ow int, p ConvParams, img int) {
 	oi := img * c * oh * ow
 	for ch := 0; ch < c; ch++ {
 		cbase := (img*c + ch) * h * w
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*p.SH - p.PH
+			rowInside := iy0 >= 0 && iy0+p.KH <= h
 			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*p.SW - p.PW
+				if rowInside && ix0 >= 0 && ix0+p.KW <= w {
+					wbase := cbase + iy0*w + ix0
+					if p.KH == 2 && p.KW == 2 {
+						// The 2x2 stride-2 window of every pooling
+						// layer in the model zoo: four direct loads,
+						// same first-wins scan order as the loop.
+						best, bi := x[wbase], wbase
+						if v := x[wbase+1]; v > best {
+							best, bi = v, wbase+1
+						}
+						if v := x[wbase+w]; v > best {
+							best, bi = v, wbase+w
+						}
+						if v := x[wbase+w+1]; v > best {
+							best, bi = v, wbase+w+1
+						}
+						out[oi] = best
+						arg[oi] = bi
+						oi++
+						continue
+					}
+					best, bi := x[wbase], wbase
+					for ky := 0; ky < p.KH; ky++ {
+						row := x[wbase+ky*w : wbase+ky*w+p.KW]
+						for kx, v := range row {
+							if v > best {
+								best, bi = v, wbase+ky*w+kx
+							}
+						}
+					}
+					out[oi] = best
+					arg[oi] = bi
+					oi++
+					continue
+				}
 				best := float32(0)
 				bi := -1
 				for ky := 0; ky < p.KH; ky++ {
-					iy := oy*p.SH - p.PH + ky
+					iy := iy0 + ky
 					if iy < 0 || iy >= h {
 						continue
 					}
 					for kx := 0; kx < p.KW; kx++ {
-						ix := ox*p.SW - p.PW + kx
+						ix := ix0 + kx
 						if ix < 0 || ix >= w {
 							continue
 						}

@@ -205,173 +205,6 @@ func CosineSimilarity(a, b *Tensor) float32 {
 	return float32(float64(Dot(a, b)) / (na * nb))
 }
 
-// MatMul computes C = A x B for 2-D tensors A[m,k] and B[k,n]. The inner
-// loop is arranged (i,k,j) so B is scanned row-contiguously, which is
-// the standard cache-friendly ordering for row-major data.
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.Shape, b.Shape))
-	}
-	out := New(a.Shape[0], b.Shape[1])
-	MatMulInto(out, a, b)
-	return out
-}
-
-// MatMulInto computes dst = A x B into an existing [m,n] tensor,
-// overwriting its contents. It is the scratch-buffer variant of MatMul
-// and produces bit-identical results.
-func MatMulInto(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulInto needs 2-D operands, got %v x %v", a.Shape, b.Shape))
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.Shape, b.Shape))
-	}
-	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
-	}
-	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
-}
-
-// gemmCutoff is the multiply-add count below which a GEMM runs on the
-// calling goroutine; smaller products finish before a fan-out pays off.
-const gemmCutoff = 1 << 15
-
-// serialRows reports whether a GEMM of the given multiply-add count
-// should run on the calling goroutine; smaller products finish before a
-// fan-out pays off. Each GEMM keeps its closure on the parallel branch
-// only, so the serial hot path never allocates.
-func serialRows(flops int) bool {
-	return flops < gemmCutoff || parallel.Workers() == 1
-}
-
-// matmulInto computes dst[m,n] = A[m,k] * B[k,n] over raw slices,
-// parallelized across row blocks of the output.
-func matmulInto(dst, a, b []float32, m, k, n int) {
-	t0 := countGEMM(m, k, n)
-	defer gemmDone(t0)
-	if serialRows(m * k * n) {
-		matmulRange(dst, a, b, k, n, 0, m)
-		return
-	}
-	parallel.For(m, func(lo, hi int) { matmulRange(dst, a, b, k, n, lo, hi) })
-}
-
-// matmulRange computes output rows [lo, hi). Every a[i,p]*b[p,j]
-// product is accumulated — there is deliberately no zero-value skip:
-// 0*NaN must stay NaN so exploding-gradient corruption is never masked.
-func matmulRange(dst, a, b []float32, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := dst[i*n : (i+1)*n]
-		for j := range crow {
-			crow[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulT1 computes C = Aᵀ x B for A[k,m], B[k,n] -> C[m,n], used in
-// dense-layer weight gradients. Work splits across output rows; each
-// element still accumulates over p in ascending order, so the result
-// is identical to the sequential kernel.
-func MatMulT1(a, b *Tensor) *Tensor {
-	out := New(a.Shape[1], b.Shape[1])
-	MatMulT1Into(out, a, b)
-	return out
-}
-
-// MatMulT1Into computes dst = Aᵀ x B into an existing [m,n] tensor,
-// overwriting its contents. Like matmulInto it never skips zero
-// operands, so NaN/Inf in either factor always propagates.
-func MatMulT1Into(dst, a, b *Tensor) {
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT1Into dimension mismatch %v x %v", a.Shape, b.Shape))
-	}
-	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulT1Into dst %v, want [%d %d]", dst.Shape, m, n))
-	}
-	t0 := countGEMM(m, k, n)
-	defer gemmDone(t0)
-	if serialRows(m * k * n) {
-		matmulT1Range(dst.Data, a.Data, b.Data, m, k, n, 0, m)
-		return
-	}
-	parallel.For(m, func(lo, hi int) { matmulT1Range(dst.Data, a.Data, b.Data, m, k, n, lo, hi) })
-}
-
-// matmulT1Range computes Aᵀ·B output rows [lo, hi), accumulating over p
-// in ascending order with no zero-operand skip (NaN/Inf must propagate).
-func matmulT1Range(dst, a, b []float32, m, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		crow := dst[i*n : (i+1)*n]
-		for j := range crow {
-			crow[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := a[p*m+i]
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulT2 computes C = A x Bᵀ for A[m,k], B[n,k] -> C[m,n], used in
-// dense-layer input gradients.
-func MatMulT2(a, b *Tensor) *Tensor {
-	out := New(a.Shape[0], b.Shape[0])
-	MatMulT2Into(out, a, b)
-	return out
-}
-
-// MatMulT2Into computes dst = A x Bᵀ into an existing [m,n] tensor,
-// overwriting its contents.
-func MatMulT2Into(dst, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT2Into dimension mismatch %v x %v", a.Shape, b.Shape))
-	}
-	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulT2Into dst %v, want [%d %d]", dst.Shape, m, n))
-	}
-	t0 := countGEMM(m, k, n)
-	defer gemmDone(t0)
-	if serialRows(m * k * n) {
-		matmulT2Range(dst.Data, a.Data, b.Data, k, n, 0, m)
-		return
-	}
-	parallel.For(m, func(lo, hi int) { matmulT2Range(dst.Data, a.Data, b.Data, k, n, lo, hi) })
-}
-
-// matmulT2Range computes A·Bᵀ output rows [lo, hi).
-func matmulT2Range(dst, a, b []float32, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := dst[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
-}
-
 // Transpose2D returns the transpose of a 2-D tensor.
 func Transpose2D(a *Tensor) *Tensor {
 	if a.Dims() != 2 {

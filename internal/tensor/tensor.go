@@ -247,18 +247,60 @@ func (t *Tensor) Min() float32 {
 }
 
 // AbsMax returns max(|x|) over all elements (0 for empty tensors).
+// The four-lane unroll gives the branch predictor independent chains;
+// max-reduction is exact and order-free, so the result is bit-identical
+// to a sequential scan (NaN compares false either way and is skipped,
+// matching the original loop).
 func (t *Tensor) AbsMax() float32 {
-	var m float32
-	for _, v := range t.Data {
-		a := v
+	d := t.Data
+	var m0, m1, m2, m3 float32
+	i := 0
+	for ; i+4 <= len(d); i += 4 {
+		a0, a1, a2, a3 := d[i], d[i+1], d[i+2], d[i+3]
+		if a0 < 0 {
+			a0 = -a0
+		}
+		if a1 < 0 {
+			a1 = -a1
+		}
+		if a2 < 0 {
+			a2 = -a2
+		}
+		if a3 < 0 {
+			a3 = -a3
+		}
+		if a0 > m0 {
+			m0 = a0
+		}
+		if a1 > m1 {
+			m1 = a1
+		}
+		if a2 > m2 {
+			m2 = a2
+		}
+		if a3 > m3 {
+			m3 = a3
+		}
+	}
+	for ; i < len(d); i++ {
+		a := d[i]
 		if a < 0 {
 			a = -a
 		}
-		if a > m {
-			m = a
+		if a > m0 {
+			m0 = a
 		}
 	}
-	return m
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
 }
 
 // Argmax returns the flat index of the maximum element.

@@ -23,6 +23,8 @@ make server-smoke
 # (crash windows, rejoins, stragglers, link drops) must converge or
 # tear down cleanly under the race detector.
 make chaos
-# Allocation-regression gate: hot-path benchmarks must stay within 10%
-# of the committed allocs/op baseline (emits BENCH_pr4.json).
+# Benchmark-regression gate: hot-path benchmarks must stay within 10%
+# of the committed allocs/op baseline (at parallelism 1 AND 4) and
+# within 35% of the committed parallelism=1 ns/op baseline (emits
+# BENCH_pr7.json).
 ./scripts/bench_compare.sh

@@ -36,6 +36,7 @@ import (
 	"socflow/internal/dataset"
 	"socflow/internal/metrics"
 	"socflow/internal/nn"
+	"socflow/internal/quant"
 )
 
 // JobSpec holds the fields shared by every entry point: model,
@@ -77,6 +78,12 @@ type Config struct {
 	// Mixed selects SoCFlow's processor mode: "auto" (default),
 	// "fp32", "int8", "half".
 	Mixed string
+	// Int8Kernels selects the NPU replica's GEMM datapath: "" (default)
+	// simulates integer execution with fake-quantized float32 GEMMs;
+	// "exact" runs true int8×int8→int32 kernels with the precise
+	// multiplier; "mitchell" uses Mitchell's logarithmic approximate
+	// multiplier, modeling approximate-computing accelerators.
+	Int8Kernels string
 	// PaperBatch is the batch size the performance track prices
 	// (default 64, the paper's BS_g; 256 for MobileNet).
 	PaperBatch int
@@ -224,6 +231,10 @@ func buildStrategy(ctx context.Context, cfg Config) (core.Strategy, error) {
 		if err != nil {
 			return nil, err
 		}
+		mul, err := quant.MultiplierByName(cfg.Int8Kernels)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q (have \"\", exact, mitchell)", ErrUnknownInt8Kernels, cfg.Int8Kernels)
+		}
 		groups := cfg.Groups
 		if groups < 0 {
 			job, clu, err := buildJob(cfg)
@@ -235,7 +246,7 @@ func buildStrategy(ctx context.Context, cfg Config) (core.Strategy, error) {
 				return nil, fmt.Errorf("socflow: group-size heuristic: %w", err)
 			}
 		}
-		return &core.SoCFlow{NumGroups: groups, Mixed: mode}, nil
+		return &core.SoCFlow{NumGroups: groups, Mixed: mode, Int8Mul: mul}, nil
 	case "ps":
 		return baselines.NewParameterServer(), nil
 	case "ring":
