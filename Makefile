@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke ci
+.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke serve-smoke bench-colocation ci
 
 all: ci
 
@@ -15,7 +15,8 @@ test:
 
 race:
 	$(GO) test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
-		./internal/core ./internal/runtime ./internal/transport ./internal/metrics
+		./internal/core ./internal/runtime ./internal/transport ./internal/metrics \
+		./internal/serve ./internal/server
 
 # Seeded chaos suite: randomized crash/straggle/link-drop/rejoin
 # schedules against the elastic recovery track, under the race
@@ -29,6 +30,12 @@ chaos:
 # completion, per-tenant quota enforcement, and deterministic reports.
 server-smoke:
 	$(GO) test -race -run TestServerSmoke -count 1 .
+
+# Serving smoke gate: a low-tide serving window through the facade must
+# hold >= 99% SLO attainment with deterministic reports, under the race
+# detector (the batcher, replay loop, and pipeline engine all engage).
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestServeOverHTTP' -count 1 .
 
 bench:
 	$(GO) test -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' -benchtime 2x -run '^$$' .
@@ -51,8 +58,16 @@ bench-elastic:
 # Scalability experiment with the observability subsystem on: emits the
 # structured run report (tables + metrics snapshot) and a Perfetto-
 # loadable Chrome trace.
+# Co-location experiment: the SLO-batched serving plane resizes with
+# the diurnal tide on one control plane while preemptible training
+# parks and resumes underneath it; emits the hourly sweep, serving
+# quantiles, SLO attainment, and training throughput as BENCH_pr8.json.
+bench-colocation:
+	$(GO) run ./cmd/socflow-bench --exp colocation --samples 480 \
+		--metrics-out BENCH_pr8.json
+
 bench-report:
 	$(GO) run ./cmd/socflow-bench --exp scalability --samples 480 --epochs 6 \
 		--metrics-out BENCH_pr3.json --trace-out BENCH_pr3.trace.json
 
-ci: vet build test race server-smoke
+ci: vet build test race server-smoke serve-smoke

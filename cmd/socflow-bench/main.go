@@ -128,6 +128,9 @@ func catalog() []experiment {
 		{"elastic", "extension: elastic recovery under the tidal trace (heartbeat detection, epoch retry, rejoin + state transfer)", func(o exp.Options, _ bool) ([]*exp.Table, error) {
 			return one(exp.ExpElastic(o))
 		}},
+		{"colocation", "extension: SLO-batched serving resizes with the tide while co-located training parks and resumes", func(o exp.Options, _ bool) ([]*exp.Table, error) {
+			return one(exp.ExpColocation(o))
+		}},
 	}
 }
 

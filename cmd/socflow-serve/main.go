@@ -1,0 +1,101 @@
+// Command socflow-serve runs an inference serving window on the
+// simulated SoC-Cluster: the model is partitioned into a pipeline,
+// replicated to the diurnal request tide, and driven by the SLO-aware
+// dynamic batcher. Run locally, or submit to a socflow-server daemon
+// where serving co-locates with (and parks) preemptible training.
+//
+// Example:
+//
+//	socflow-serve --model vgg11 --dataset cifar10 --stages 2 \
+//	    --slo 0.5 --peak-rps 20 --hours 24 --socs 32
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"socflow"
+)
+
+func main() {
+	var cfg socflow.ServeConfig
+	flag.StringVar(&cfg.Model, "model", "vgg11", "model: "+strings.Join(socflow.Models(), "|"))
+	flag.StringVar(&cfg.Dataset, "dataset", "cifar10", "dataset: "+strings.Join(socflow.Datasets(), "|"))
+	flag.IntVar(&cfg.Stages, "stages", 2, "pipeline stages per replica")
+	flag.IntVar(&cfg.MaxBatch, "max-batch", 8, "dynamic batching cap")
+	flag.Float64Var(&cfg.MaxQueueDelay, "max-delay", 0.05, "max queue delay before a partial batch launches (simulated s)")
+	flag.Float64Var(&cfg.SLO, "slo", 0.5, "per-request latency budget (simulated s)")
+	flag.Float64Var(&cfg.PeakRPS, "peak-rps", 20, "request rate at the diurnal peak")
+	flag.Float64Var(&cfg.StartHour, "start-hour", 0, "hour of day the window opens [0,24)")
+	flag.Float64Var(&cfg.Hours, "hours", 24, "serving window length")
+	flag.IntVar(&cfg.NumSoCs, "socs", 32, "cluster size serving scales across")
+	flag.IntVar(&cfg.Samples, "samples", 256, "synthetic request sample pool")
+	flag.StringVar(&cfg.CheckpointDir, "checkpoint-dir", "", "serve the newest checkpoint in this directory")
+	seed := flag.Uint64("seed", 1, "random seed")
+	gen := flag.String("gen", "sd865", "SoC generation: sd865|sd8gen1")
+	serverURL := flag.String("server", "", "submit to a socflow-server daemon at this base URL instead of running locally")
+	tenant := flag.String("tenant", "", "tenant name for the daemon's quota accounting (with --server)")
+	priority := flag.Int("priority", 0, "scheduling priority; higher may preempt (with --server)")
+	jsonOut := flag.Bool("json", false, "print the full report as JSON instead of the summary")
+	flag.Parse()
+	cfg.Seed = *seed
+	cfg.Generation = *gen
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []socflow.Option{socflow.WithTenant(*tenant), socflow.WithPriority(*priority)}
+	var cl *socflow.Client
+	if *serverURL != "" {
+		cl = socflow.Dial(*serverURL)
+	} else {
+		// A private single-purpose server: the whole cluster is the
+		// serving plane's to scale across.
+		srv := socflow.NewServer(socflow.ServerConfig{TotalSoCs: cfg.NumSoCs})
+		defer srv.Close()
+		cl = srv.Client()
+		if !*jsonOut {
+			cfg.HourEnd = func(s socflow.ServeHourStat) {
+				fmt.Printf("  hour %4.1f  busy %3.0f%%  replicas %2d (%2d SoCs)  req %5d  shed %4d  slo %5.1f%%  p99 %6.4fs\n",
+					s.Hour, 100*s.Busy, s.Replicas, s.SoCs, s.Requests, s.Shed, 100*s.Attainment, s.P99Seconds)
+			}
+		}
+	}
+
+	h, err := cl.Serve(ctx, cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socflow-serve:", err)
+		os.Exit(1)
+	}
+	if *serverURL != "" {
+		fmt.Printf("submitted %s to %s (tenant %q, priority %d)\n", h.ID(), *serverURL, *tenant, *priority)
+	}
+	rep, err := h.Wait(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socflow-serve:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "socflow-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("model=%s dataset=%s stages=%d window=%.1fh\n", rep.Model, rep.Dataset, rep.Stages, rep.Hours)
+	fmt.Printf("requests            : %d (%d served, %d shed, %d abandoned)\n",
+		rep.Requests, rep.Served, rep.Shed, rep.Canceled)
+	fmt.Printf("SLO attainment      : %.2f%%\n", 100*rep.Attainment)
+	fmt.Printf("latency             : p50 %.4fs  p99 %.4fs  mean %.4fs\n",
+		rep.P50Seconds, rep.P99Seconds, rep.MeanSeconds)
+	fmt.Printf("batches             : %d (max queue depth %d)\n", rep.Batches, rep.MaxQueueDepth)
+	fmt.Printf("peak footprint      : %d replicas x %d stages\n", rep.PeakReplicas, rep.Stages)
+}

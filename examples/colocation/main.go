@@ -1,79 +1,147 @@
-// Colocation: the scenario motivating the whole paper (Fig. 1) —
-// harvest idle SoC cycles for DNN training while user-triggered cloud
-// gaming keeps priority. A tidal busy schedule is sampled, training is
-// scheduled into the nightly idle window, and when user load arrives on
-// a logical group's SoCs, that group alone is checkpointed and
-// preempted while the rest keep training.
+// Colocation: the scenario motivating the whole paper (Fig. 1) — the
+// SoC-Cluster's day job is serving user requests, and training harvests
+// whatever the request tide leaves idle. Both workloads run on ONE
+// control plane: an SLO-batched serving job resizes with the diurnal
+// tide, and the scheduler parks the preemptible training job whenever
+// serving's footprint leaves too few SoCs, resuming it from its park
+// checkpoint as the tide ebbs.
 package main
 
 import (
 	"context"
-
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"time"
 
-	"socflow/internal/cluster"
-	"socflow/internal/core"
-	"socflow/internal/dataset"
-	"socflow/internal/nn"
+	"socflow"
 )
 
+const (
+	totalSoCs = 12
+	trainSoCs = 10
+)
+
+type summary struct {
+	Parks, Resumes int
+	TrainAccuracy  float64
+	Attainment     float64
+	Requests       int
+}
+
 func main() {
-	const (
-		numSoCs = 20
-		groups  = 4
-	)
-	clu := cluster.New(cluster.Config{NumSoCs: numSoCs})
-	trace := cluster.DefaultTidalTrace()
-
-	// Find the nightly idle window and sample the user workload.
-	start, hours := trace.IdleWindow(0.3)
-	fmt.Printf("idle window: %02.0f:00 for %.1f h — scheduling training there\n", start, hours)
-	sched := trace.BusySchedule(numSoCs, 7)
-
-	// Map the fleet and derive a preemption plan: one epoch per hour of
-	// the window; a group sits out any hour in which most of its SoCs
-	// serve users.
-	mapping := core.IntegrityGreedyMap(numSoCs, groups, clu.Config.SoCsPerPCB)
-	epochs := int(hours)
-	if epochs > 10 {
-		epochs = 10
-	}
-	plan := core.PlanFromTrace(mapping, sched, int(start), epochs)
-	preempted := 0
-	for _, gs := range plan.ByEpoch {
-		preempted += len(gs)
-	}
-	fmt.Printf("plan: %d epochs, %d group-preemptions expected\n", epochs, preempted)
-
-	// The training job itself.
-	prof := dataset.MustProfile("fmnist")
-	pool := prof.Generate(dataset.GenOptions{Samples: 720, Seed: 3})
-	train, val := pool.Split(0.85)
-	job := &core.Job{
-		Spec:         nn.MustSpec("lenet5"),
-		Train:        train,
-		Val:          val,
-		PaperSamples: prof.PaperTrainN,
-		GlobalBatch:  16,
-		PaperBatch:   64,
-		LR:           0.02,
-		Momentum:     0.9,
-		Epochs:       epochs,
-		Seed:         3,
-	}
-	res, err := (&core.SoCFlow{NumGroups: groups, Preempt: plan}).Run(context.Background(), job, clu)
-	if err != nil {
+	if _, err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	for e, acc := range res.EpochAccuracies {
-		hour := (int(start) + e) % 24
-		out := len(plan.ByEpoch[e])
-		fmt.Printf("  %02d:00  val-acc %5.1f%%  (%d/%d groups training)\n",
-			hour, 100*acc, groups-out, groups)
+func run(w io.Writer) (summary, error) {
+	ctx := context.Background()
+	srv := socflow.NewServer(socflow.ServerConfig{TotalSoCs: totalSoCs})
+	defer srv.Close()
+	cl := srv.Client()
+
+	// The training tenant claims most of the cluster. SoCFlow-strategy
+	// jobs are preemptible: the scheduler may park them at an epoch
+	// boundary (checkpointing weights and BN state) and resume later.
+	th, err := cl.Submit(ctx, socflow.Config{
+		JobSpec: socflow.JobSpec{
+			Model: "lenet5", Dataset: "fmnist",
+			Epochs: 12, TrainSamples: 960, ValSamples: 128, Seed: 3,
+		},
+		NumSoCs: trainSoCs,
+		Groups:  5,
+	}, socflow.WithTenant("lab"))
+	if err != nil {
+		return summary{}, err
 	}
-	fmt.Printf("\nserved %d preemptions; best accuracy %.1f%% — training survived co-location\n",
-		res.Preemptions, 100*res.BestAccuracy)
-	fmt.Printf("simulated training time: %.0f s inside a %.1f h window\n", res.SimSeconds, hours)
+	if err := waitState(ctx, th, socflow.JobRunning); err != nil {
+		return summary{}, err
+	}
+	fmt.Fprintf(w, "training started on %d of %d SoCs — now the evening request tide arrives\n\n", trainSoCs, totalSoCs)
+
+	// The serving tenant opens its window at 21:00, when the tide is
+	// still high: its footprint does not fit beside training, so the
+	// scheduler parks training to admit the higher-priority tenant.
+	// Each simulated hour the HourEnd hook waits for the scheduler to
+	// settle training into the state the new footprint implies, then
+	// logs the row — serving resizing down the night, training resumed
+	// underneath it.
+	cfg := socflow.ServeConfig{
+		Model: "lenet5", Dataset: "fmnist",
+		Stages: 2, MaxBatch: 8, MaxQueueDelay: 0.02,
+		SLO: 0.5, PeakRPS: 2,
+		StartHour: 21, Hours: 12,
+		NumSoCs: totalSoCs, Samples: 96, Seed: 3,
+	}
+	cfg.HourEnd = func(s socflow.ServeHourStat) {
+		st := settle(ctx, th, s.SoCs+trainSoCs > totalSoCs)
+		fmt.Fprintf(w, "  %02.0f:00  busy %3.0f%%  serving %2d SoCs  req %4d  slo %5.1f%%  training %s (%d/12 epochs)\n",
+			s.Hour, 100*s.Busy, s.SoCs, s.Requests, 100*s.Attainment, st.State, st.EpochsDone)
+	}
+	sh, err := cl.Serve(ctx, cfg, socflow.WithTenant("web"), socflow.WithPriority(9))
+	if err != nil {
+		return summary{}, err
+	}
+	srep, err := sh.Wait(ctx)
+	if err != nil {
+		return summary{}, err
+	}
+	trep, err := th.Wait(ctx)
+	if err != nil {
+		return summary{}, err
+	}
+	st, err := th.Status(ctx)
+	if err != nil {
+		return summary{}, err
+	}
+
+	fmt.Fprintf(w, "\nserving: %d requests, %.2f%% SLO attainment, p99 %.4fs\n",
+		srep.Requests, 100*srep.Attainment, srep.P99Seconds)
+	fmt.Fprintf(w, "training: best accuracy %.1f%% after %d parks and %d resumes — training survived co-location\n",
+		100*trep.BestAccuracy, st.Parks, st.Resumes)
+	return summary{
+		Parks: st.Parks, Resumes: st.Resumes,
+		TrainAccuracy: trep.BestAccuracy,
+		Attainment:    srep.Attainment,
+		Requests:      srep.Requests,
+	}, nil
+}
+
+// settle polls the training job until the scheduler has reacted to the
+// serving footprint: parked when the footprint conflicts, running when
+// it fits, or any terminal state.
+func settle(ctx context.Context, th *socflow.JobHandle, conflict bool) socflow.JobStatus {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := th.Status(ctx)
+		if err != nil {
+			return st
+		}
+		settled := st.State.Terminal() ||
+			(conflict && st.State == socflow.JobParked) ||
+			(!conflict && st.State == socflow.JobRunning)
+		if settled || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func waitState(ctx context.Context, th *socflow.JobHandle, want socflow.JobState) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := th.Status(ctx)
+		if err != nil {
+			return err
+		}
+		if st.State == want {
+			return nil
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			return fmt.Errorf("training is %s, want %s", st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestColocationExample runs the example end to end: serving must hold
+// its SLO through the window, the tide must park training at least
+// once, and training must resume and still converge.
+func TestColocationExample(t *testing.T) {
+	s, err := run(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parks < 1 || s.Resumes < 1 {
+		t.Fatalf("parks %d, resumes %d: the tide never displaced training", s.Parks, s.Resumes)
+	}
+	if s.Attainment < 0.99 {
+		t.Fatalf("SLO attainment %.4f, want >= 0.99", s.Attainment)
+	}
+	if s.Requests == 0 {
+		t.Fatal("serving saw no requests")
+	}
+	if s.TrainAccuracy < 0.5 {
+		t.Fatalf("training accuracy %.3f: park/resume broke convergence", s.TrainAccuracy)
+	}
+}

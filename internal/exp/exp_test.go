@@ -575,3 +575,45 @@ func TestExpFaultsDegradesGracefully(t *testing.T) {
 		}
 	}
 }
+
+func TestExpColocationParksAndStaysBitIdentical(t *testing.T) {
+	o := fastOpts()
+	o.Epochs = 4
+	o.TrainSamples = 320
+	o.ValSamples = 80
+	tb, err := ExpColocation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 24 {
+		t.Fatalf("rows: %d, want the full diurnal sweep", len(tb.Rows))
+	}
+	// The sweep opens near the evening tide: serving still holds too
+	// many SoCs, so the very first row must show training parked.
+	parked, identical := false, false
+	for _, row := range tb.Rows {
+		if row[7] == "parked" {
+			parked = true
+		}
+	}
+	if !parked {
+		t.Fatal("no row shows training parked; the tide never displaced it")
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("acceptance warning in notes: %q", n)
+		}
+		if strings.Contains(n, "bit-identically") {
+			identical = true
+		}
+	}
+	if !identical {
+		t.Fatal("missing bit-identity note")
+	}
+	// Every serving hour must hold the SLO at this low load.
+	for _, row := range tb.Rows {
+		if slo := cellFloat(t, row[5]); slo < 99 {
+			t.Fatalf("hour %s: SLO attainment %v%%, want >= 99", row[0], slo)
+		}
+	}
+}

@@ -161,3 +161,67 @@ func TestSpanCapDrops(t *testing.T) {
 		t.Fatalf("cap broken: %d spans, %d dropped", len(snap.Spans), snap.DroppedSpans)
 	}
 }
+
+// Quantile interpolates linearly inside the bucket that holds the
+// target rank, clamps to the observed [Min, Max], and returns the exact
+// extremes at q=0 and q=1.
+func TestHistogramQuantile(t *testing.T) {
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-9 && d > -1e-9
+	}
+
+	r := New()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	// 10 observations spread uniformly through (1, 2]: the median should
+	// interpolate to the middle of that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.05 + 0.09*float64(i))
+	}
+	if got := h.Quantile(0.5); !approx(got, 1.5) {
+		t.Fatalf("median of uniform (1,2] bucket = %v, want 1.5", got)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	if got := snap.Quantile(0.5); !approx(got, 1.5) {
+		t.Fatalf("snapshot median = %v, want 1.5", got)
+	}
+
+	// Boundary q values return exact extremes, not interpolations.
+	if got := snap.Quantile(0); got != snap.Min {
+		t.Fatalf("q=0 = %v, want Min %v", got, snap.Min)
+	}
+	if got := snap.Quantile(1); got != snap.Max {
+		t.Fatalf("q=1 = %v, want Max %v", got, snap.Max)
+	}
+
+	// A quantile landing in the first bucket interpolates from Min, so
+	// it can never undershoot the smallest observation.
+	r2 := New()
+	h2 := r2.Histogram("first", []float64{10, 20})
+	h2.Observe(9)
+	h2.Observe(9.5)
+	if got := h2.Quantile(0.25); got < 9 || got > 10 {
+		t.Fatalf("first-bucket quantile %v escaped [Min, bound]", got)
+	}
+
+	// Overflow bucket: interpolates between the last bound and Max.
+	r3 := New()
+	h3 := r3.Histogram("over", []float64{1})
+	h3.Observe(100)
+	h3.Observe(200)
+	if got := h3.Quantile(0.99); got < 1 || got > 200 {
+		t.Fatalf("overflow quantile %v escaped (lastBound, Max]", got)
+	}
+	if got := h3.Quantile(1); got != 200 {
+		t.Fatalf("overflow q=1 = %v, want Max 200", got)
+	}
+
+	// Degenerate cases: empty histogram and nil receiver return 0.
+	if got := New().Histogram("empty", []float64{1}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+}

@@ -1,6 +1,9 @@
 package metrics
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // HistogramSnapshot is a histogram's state at snapshot time. Counts
 // has len(Bounds)+1 entries; the last is the overflow bucket.
@@ -11,6 +14,55 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank, the standard Prometheus-style estimator. The first
+// bucket interpolates from Min and the overflow bucket from its lower
+// bound to Max, and every estimate is clamped to [Min, Max], so exact
+// extremes are returned for q=0 and q=1. An empty snapshot returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		lo, hi := h.Min, h.Max
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if i < len(h.Bounds) {
+			hi = h.Bounds[i]
+		}
+		v := lo + (hi-lo)*(rank-cum)/float64(c)
+		return math.Min(math.Max(v, h.Min), h.Max)
+	}
+	return h.Max
+}
+
+// Quantile estimates the q-th quantile of the live histogram; see
+// HistogramSnapshot.Quantile. Returns 0 on a nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().Quantile(q)
 }
 
 // RunReport is a registry frozen at a point in time: the structured,

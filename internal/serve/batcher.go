@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Request is one inference request flowing through the batcher, stamped
+// in simulated seconds.
+type Request struct {
+	ID      int
+	Arrival float64
+	// Deadline is the absolute SLO bound: the request meets its SLO iff
+	// its batch finishes by this instant.
+	Deadline float64
+	// Sample indexes the serving dataset row this request asks about.
+	Sample int
+	// Ctx, when non-nil, lets the submitter abandon the request while
+	// it queues; canceled requests are dropped (and counted) at flush.
+	Ctx context.Context
+}
+
+// BatcherConfig is the dynamic batching policy.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests one flush hands the engine.
+	MaxBatch int
+	// MaxDelay bounds how long the oldest queued request may wait for
+	// the batch to fill before the batcher flushes anyway.
+	MaxDelay float64
+}
+
+// Batcher forms SLO-aware dynamic batches: requests queue until the
+// batch fills or the oldest has waited MaxDelay, dequeue is
+// earliest-deadline-first, and admission sheds requests that cannot
+// make their deadline even if served immediately (better an instant
+// 503 than wasted pipeline time — and the wasted time would cascade
+// onto requests behind it).
+type Batcher struct {
+	cfg   BatcherConfig
+	queue []Request
+
+	shed     int
+	canceled int
+	maxDepth int
+}
+
+// NewBatcher validates the policy and builds a batcher.
+func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: BatcherConfig.MaxBatch %d, want >= 1", cfg.MaxBatch)
+	}
+	if cfg.MaxDelay < 0 {
+		return nil, fmt.Errorf("serve: BatcherConfig.MaxDelay %v, want >= 0", cfg.MaxDelay)
+	}
+	return &Batcher{cfg: cfg}, nil
+}
+
+// Admit enqueues r unless it is hopeless: estService is the caller's
+// estimate of queue wait plus service time, and a request whose
+// deadline would already be missed is shed at the door. A request that
+// would finish exactly at its deadline is admitted — the SLO bound is
+// inclusive.
+func (b *Batcher) Admit(r Request, now, estService float64) bool {
+	if now+estService > r.Deadline {
+		b.shed++
+		return false
+	}
+	b.queue = append(b.queue, r)
+	if len(b.queue) > b.maxDepth {
+		b.maxDepth = len(b.queue)
+	}
+	return true
+}
+
+// Len returns the queue depth.
+func (b *Batcher) Len() int { return len(b.queue) }
+
+// Full reports whether a flush would fill a whole batch.
+func (b *Batcher) Full() bool { return len(b.queue) >= b.cfg.MaxBatch }
+
+// DueAt returns the instant the oldest queued request's MaxDelay
+// expires — the batcher's timer — and false when the queue is empty.
+func (b *Batcher) DueAt() (float64, bool) {
+	if len(b.queue) == 0 {
+		return 0, false
+	}
+	oldest := b.queue[0].Arrival
+	for _, r := range b.queue[1:] {
+		if r.Arrival < oldest {
+			oldest = r.Arrival
+		}
+	}
+	return oldest + b.cfg.MaxDelay, true
+}
+
+// Flush pops up to MaxBatch requests in earliest-deadline-first order
+// (ties by arrival, then ID — total and deterministic). Requests whose
+// context was canceled while queued are dropped and counted, never
+// served. An empty queue flushes to nil — the timer can fire after the
+// tide recedes.
+func (b *Batcher) Flush(now float64) []Request {
+	// Drop canceled requests first so they neither occupy batch slots
+	// nor skew EDF order.
+	live := b.queue[:0]
+	for _, r := range b.queue {
+		if r.Ctx != nil && r.Ctx.Err() != nil {
+			b.canceled++
+			continue
+		}
+		live = append(live, r)
+	}
+	b.queue = live
+	if len(b.queue) == 0 {
+		return nil
+	}
+	sort.SliceStable(b.queue, func(i, j int) bool {
+		a, c := b.queue[i], b.queue[j]
+		if a.Deadline != c.Deadline {
+			return a.Deadline < c.Deadline
+		}
+		if a.Arrival != c.Arrival {
+			return a.Arrival < c.Arrival
+		}
+		return a.ID < c.ID
+	})
+	n := b.cfg.MaxBatch
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	batch := append([]Request(nil), b.queue[:n]...)
+	b.queue = append(b.queue[:0], b.queue[n:]...)
+	return batch
+}
+
+// Shed returns how many requests admission control turned away.
+func (b *Batcher) Shed() int { return b.shed }
+
+// Canceled returns how many queued requests were abandoned via ctx.
+func (b *Batcher) Canceled() int { return b.canceled }
+
+// MaxDepth returns the deepest the queue ever got.
+func (b *Batcher) MaxDepth() int { return b.maxDepth }

@@ -1,0 +1,250 @@
+// Package serve is the inference serving plane: it runs trained models
+// in eval mode under latency SLOs while the same cluster's idle windows
+// host training. The pieces compose the paper's missing half — the
+// hardware's day job — onto the existing simulation stack:
+//
+//   - a pipeline partitioner (this file) splits a model's layers across
+//     N SoCs balanced by a per-layer FLOP/parameter cost model, the
+//     partition-and-place move of SEIFER and FlexFlow's pipeline axis;
+//   - an Engine prices each stage's compute on the calibrated SoC model
+//     and stage-to-stage activation transfers on internal/simnet;
+//   - a Batcher forms SLO-aware dynamic batches (max size + max queue
+//     delay, earliest-deadline-first, shed-on-hopeless admission);
+//   - a LoadGen converts the cluster's tidal occupancy trace into an
+//     open-loop request arrival process (seeded, deterministic);
+//   - Replay drives requests through batcher and engine on the
+//     simulated clock and measures per-request latency into serve.*
+//     metrics.
+//
+// Everything here operates on simulated time, so a serving run is
+// bit-reproducible from its seed — same property the training track
+// has. See DESIGN.md §15.
+package serve
+
+import (
+	"fmt"
+
+	"socflow/internal/nn"
+)
+
+// LayerCost is the partitioner's view of one top-level layer: forward
+// FLOPs per sample, resident parameters, and the activation volume it
+// emits (all at micro scale — only ratios matter to the balancer).
+type LayerCost struct {
+	Index int
+	Name  string
+	// FLOPs is the forward cost per sample.
+	FLOPs float64
+	// Params counts resident trainable scalars (weights the stage must
+	// hold in memory).
+	Params int64
+	// OutElems is activation elements per sample leaving this layer —
+	// what crosses the wire if the pipeline is cut after it.
+	OutElems int
+}
+
+// paramFLOPWeight converts resident parameters into the balancer's
+// FLOP currency. These SoCs are LPDDR-bandwidth-bound: streaming a
+// stage's weights from DRAM costs roughly one MAC-equivalent per
+// parameter per sample, so a parameter-heavy classifier head cannot
+// ride free on its small FLOP count.
+const paramFLOPWeight = 2
+
+func (c LayerCost) weight() float64 { return c.FLOPs + paramFLOPWeight*float64(c.Params) }
+
+// shape tracks the activation shape through the cost walk: spatial
+// [c,h,w] until a flattening layer, then flat f features.
+type shape struct {
+	c, h, w int
+	f       int
+	spatial bool
+}
+
+func (s shape) elems() int {
+	if s.spatial {
+		return s.c * s.h * s.w
+	}
+	return s.f
+}
+
+// LayerCosts walks a model's top-level layers with shape inference and
+// prices each one. inC and imgSize describe the (micro) input.
+func LayerCosts(m *nn.Sequential, inC, imgSize int) []LayerCost {
+	in := shape{c: inC, h: imgSize, w: imgSize, spatial: true}
+	costs := make([]LayerCost, 0, len(m.Layers))
+	for i, l := range m.Layers {
+		c := layerCost(l, &in)
+		c.Index = i
+		costs = append(costs, c)
+	}
+	return costs
+}
+
+// layerCost prices one layer and advances the shape. Unknown layer
+// types are treated as elementwise (cost = activation size, shape
+// unchanged) so a new layer kind degrades the balance, never the walk.
+func layerCost(l nn.Layer, s *shape) LayerCost {
+	elems := s.elems()
+	switch v := l.(type) {
+	case *nn.Conv2D:
+		oh, ow := v.P.OutSize(s.h, s.w)
+		k := v.P.KH * v.P.KW
+		s.c, s.h, s.w = v.OutC, oh, ow
+		return LayerCost{
+			Name:     "conv2d",
+			FLOPs:    2 * float64(v.InC*k) * float64(v.OutC*oh*ow),
+			Params:   int64(v.OutC*v.InC*k + v.OutC),
+			OutElems: s.elems(),
+		}
+	case *nn.DepthwiseConv2D:
+		oh, ow := v.P.OutSize(s.h, s.w)
+		k := v.P.KH * v.P.KW
+		s.c, s.h, s.w = v.C, oh, ow
+		return LayerCost{
+			Name:     "dwconv2d",
+			FLOPs:    2 * float64(k) * float64(v.C*oh*ow),
+			Params:   int64(v.C*k + v.C),
+			OutElems: s.elems(),
+		}
+	case *nn.Dense:
+		*s = shape{f: v.Out}
+		return LayerCost{
+			Name:     "dense",
+			FLOPs:    2 * float64(v.In) * float64(v.Out),
+			Params:   int64(v.In*v.Out + v.Out),
+			OutElems: v.Out,
+		}
+	case *nn.BatchNorm2D:
+		// Eval mode: one scale and one shift per element.
+		return LayerCost{Name: "batchnorm", FLOPs: 2 * float64(elems), Params: int64(2 * v.C), OutElems: elems}
+	case *nn.ReLU:
+		return LayerCost{Name: "relu", FLOPs: float64(elems), OutElems: elems}
+	case *nn.Tanh:
+		// Transcendental: several FLOP-equivalents per element.
+		return LayerCost{Name: "tanh", FLOPs: 8 * float64(elems), OutElems: elems}
+	case *nn.MaxPool2D:
+		oh, ow := v.P.OutSize(s.h, s.w)
+		k := v.P.KH * v.P.KW
+		s.h, s.w = oh, ow
+		return LayerCost{Name: "maxpool", FLOPs: float64(k) * float64(s.c*oh*ow), OutElems: s.elems()}
+	case *nn.AvgPool2D:
+		oh, ow := v.P.OutSize(s.h, s.w)
+		k := v.P.KH * v.P.KW
+		s.h, s.w = oh, ow
+		return LayerCost{Name: "avgpool", FLOPs: float64(k) * float64(s.c*oh*ow), OutElems: s.elems()}
+	case *nn.GlobalAvgPool:
+		c := s.c
+		*s = shape{f: c}
+		return LayerCost{Name: "gap", FLOPs: float64(elems), OutElems: c}
+	case *nn.Flatten:
+		*s = shape{f: elems}
+		return LayerCost{Name: "flatten", OutElems: elems}
+	case *nn.Sequential:
+		agg := LayerCost{Name: "sequential"}
+		for _, inner := range v.Layers {
+			c := layerCost(inner, s)
+			agg.FLOPs += c.FLOPs
+			agg.Params += c.Params
+		}
+		agg.OutElems = s.elems()
+		return agg
+	case *nn.Residual:
+		body := *s
+		agg := LayerCost{Name: "residual"}
+		for _, inner := range v.Body.Layers {
+			c := layerCost(inner, &body)
+			agg.FLOPs += c.FLOPs
+			agg.Params += c.Params
+		}
+		if v.Shortcut != nil {
+			short := *s
+			for _, inner := range v.Shortcut.Layers {
+				c := layerCost(inner, &short)
+				agg.FLOPs += c.FLOPs
+				agg.Params += c.Params
+			}
+		}
+		*s = body
+		agg.FLOPs += float64(s.elems()) // the residual add
+		agg.OutElems = s.elems()
+		return agg
+	default:
+		return LayerCost{Name: fmt.Sprintf("%T", l), FLOPs: float64(elems), OutElems: elems}
+	}
+}
+
+// Stage is one contiguous pipeline stage: layers [From, To] of the
+// partitioned model, placed on one SoC.
+type Stage struct {
+	From, To int
+	FLOPs    float64
+	Params   int64
+	// OutElems is the per-sample activation volume this stage ships to
+	// the next one (meaningless for the last stage).
+	OutElems int
+}
+
+// Partition cuts the layer sequence into `stages` contiguous stages
+// minimizing the maximum per-stage weight (FLOPs + parameter
+// residency) — the pipeline's bottleneck, hence its throughput. Exact
+// via dynamic programming; layer counts are tens, so O(stages·L²) is
+// nothing.
+func Partition(costs []LayerCost, stages int) ([]Stage, error) {
+	l := len(costs)
+	if l == 0 {
+		return nil, fmt.Errorf("serve: model has no layers to partition")
+	}
+	if stages < 1 || stages > l {
+		return nil, fmt.Errorf("serve: %d stages for %d layers (want 1..%d)", stages, l, l)
+	}
+	// prefix[i] = total weight of layers [0, i).
+	prefix := make([]float64, l+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c.weight()
+	}
+	seg := func(i, j int) float64 { return prefix[j] - prefix[i] } // layers [i, j)
+
+	const inf = 1e308
+	// best[k][j]: minimal bottleneck splitting layers [0, j) into k stages.
+	best := make([][]float64, stages+1)
+	cut := make([][]int, stages+1)
+	for k := range best {
+		best[k] = make([]float64, l+1)
+		cut[k] = make([]int, l+1)
+		for j := range best[k] {
+			best[k][j] = inf
+		}
+	}
+	best[0][0] = 0
+	for k := 1; k <= stages; k++ {
+		for j := k; j <= l; j++ {
+			for i := k - 1; i < j; i++ {
+				if best[k-1][i] == inf {
+					continue
+				}
+				b := best[k-1][i]
+				if s := seg(i, j); s > b {
+					b = s
+				}
+				if b < best[k][j] {
+					best[k][j] = b
+					cut[k][j] = i
+				}
+			}
+		}
+	}
+
+	out := make([]Stage, stages)
+	j := l
+	for k := stages; k >= 1; k-- {
+		i := cut[k][j]
+		st := Stage{From: i, To: j - 1, OutElems: costs[j-1].OutElems}
+		for _, c := range costs[i:j] {
+			st.FLOPs += c.FLOPs
+			st.Params += c.Params
+		}
+		out[k-1] = st
+		j = i
+	}
+	return out, nil
+}

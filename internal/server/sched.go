@@ -77,13 +77,16 @@ type decision struct {
 	Park  []string
 }
 
-// planSchedule decides one round. Pending jobs are considered in
-// (priority desc, submission asc) order. Each is checked against its
-// tenant quota, then started if it fits in free capacity, granted a
-// reservation against capacity that parking jobs will free, or — if
-// still short — granted a reservation by parking enough lower-priority
-// preemptible victims. Jobs that cannot be served this round are
-// skipped, letting smaller or lower-priority work backfill.
+// planSchedule decides one round. If the cluster is oversubscribed —
+// capacity fell below what running jobs hold — preemptible victims are
+// parked, cheapest first, until the overflow is covered. Pending jobs
+// are then considered in (priority desc, submission asc) order. Each is
+// checked against its tenant quota, then started if it fits in free
+// capacity, granted a reservation against capacity that parking jobs
+// will free, or — if still short — granted a reservation by parking
+// enough lower-priority preemptible victims. Jobs that cannot be served
+// this round are skipped, letting smaller or lower-priority work
+// backfill.
 func planSchedule(pending []schedJob, running []schedRunning, capacity int, quota func(string) Quota) decision {
 	used := 0
 	tenantJobs := map[string]int{}
@@ -131,6 +134,33 @@ func planSchedule(pending []schedJob, running []schedRunning, capacity int, quot
 	parked := map[string]bool{}
 
 	var d decision
+
+	// A capacity cut — the serving tenant widening with the request
+	// tide, a tightened hour, a shrunk quota-free pool — can leave the
+	// cluster oversubscribed. Park preemptible victims, cheapest first,
+	// until the overflow is covered; capacity already draining through
+	// parking jobs counts toward it. Non-preemptible jobs are never
+	// touched, so a cut deeper than the preemptible pool leaves the
+	// cluster transiently oversubscribed rather than killing work.
+	if overflow := used - capacity; overflow > 0 {
+		overflow -= parkingPool
+		for _, v := range victims {
+			if overflow <= 0 {
+				break
+			}
+			parked[v.id] = true
+			d.Park = append(d.Park, v.id)
+			parkingPool += v.socs
+			overflow -= v.socs
+		}
+		// Only what parking jobs free beyond the cut remains grantable
+		// as reservations below.
+		parkingPool -= used - capacity
+		if parkingPool < 0 {
+			parkingPool = 0
+		}
+	}
+
 	for _, p := range order {
 		q := quota(p.tenant)
 		if q.MaxRunningJobs > 0 && tenantJobs[p.tenant]+1 > q.MaxRunningJobs {

@@ -165,6 +165,52 @@ func TestPlanScheduleTable(t *testing.T) {
 			want:     decision{Park: []string{"lo2", "lo1"}},
 		},
 		{
+			name: "capacity cut parks the cheapest preemptible overflow",
+			running: []schedRunning{
+				{schedJob: schedJob{id: "old", tenant: "t", priority: 1, socs: 8, seq: 1}, preemptible: true},
+				{schedJob: schedJob{id: "young", tenant: "t", priority: 0, socs: 8, seq: 2}, preemptible: true},
+			},
+			capacity: 10, // was >= 16 before the serving tide rose
+			quota:    noQuota,
+			want:     decision{Park: []string{"young"}},
+		},
+		{
+			name: "deep cut parks several victims but never the non-preemptible",
+			running: []schedRunning{
+				{schedJob: schedJob{id: "serve", tenant: "web", priority: 9, socs: 8, seq: 1}},
+				{schedJob: schedJob{id: "t1", tenant: "t", priority: 0, socs: 4, seq: 2}, preemptible: true},
+				{schedJob: schedJob{id: "t2", tenant: "t", priority: 0, socs: 4, seq: 3}, preemptible: true},
+			},
+			capacity: 9,
+			quota:    noQuota,
+			want:     decision{Park: []string{"t2", "t1"}},
+		},
+		{
+			name: "capacity already draining counts toward the cut",
+			running: []schedRunning{
+				{schedJob: schedJob{id: "p", tenant: "t", priority: 0, socs: 8, seq: 1}, preemptible: true, parking: true},
+				{schedJob: schedJob{id: "r", tenant: "t", priority: 0, socs: 8, seq: 2}, preemptible: true},
+			},
+			capacity: 8, // the parking job's exit alone restores balance
+			quota:    noQuota,
+			want:     decision{},
+		},
+		{
+			name: "over-capacity drain is not grantable as a reservation",
+			pending: []schedJob{
+				{id: "new", tenant: "t", priority: 0, socs: 4, seq: 3},
+			},
+			running: []schedRunning{
+				{schedJob: schedJob{id: "p", tenant: "t", priority: 5, socs: 8, seq: 1}, preemptible: true, parking: true},
+				{schedJob: schedJob{id: "r", tenant: "t", priority: 5, socs: 8, seq: 2}},
+			},
+			capacity: 8,
+			quota:    noQuota,
+			// p's 8 SoCs drain toward the cut, not toward new work: once
+			// p exits the cluster is exactly full.
+			want: decision{},
+		},
+		{
 			name: "tidal window packs only what fits",
 			pending: []schedJob{
 				{id: "j1", tenant: "t", priority: 0, socs: 2, seq: 1},

@@ -99,6 +99,7 @@ type Controller struct {
 	park       atomic.Bool
 	startEpoch int
 	observe    func(epoch int)
+	resize     func(socs int)
 }
 
 // ParkRequested reports whether the scheduler wants the job off the
@@ -114,6 +115,20 @@ func (c *Controller) StartEpoch() int { return c.startEpoch }
 func (c *Controller) ObserveEpoch(epoch int) {
 	if c.observe != nil {
 		c.observe(epoch)
+	}
+}
+
+// Resize asks the scheduler to change the job's SoC footprint and
+// replan: the serving tenant widens with the request tide and narrows
+// at night, parking preemptible training into the swell and releasing
+// capacity back on the ebb. Clamped to [1, TotalSoCs]. The new
+// footprint bypasses the submit-time quota gate — a grow can push the
+// tenant past MaxSoCs until the next shrink — so give an elastic
+// serving tenant an unlimited (zero) MaxSoCs quota. No-op outside a
+// running segment.
+func (c *Controller) Resize(socs int) {
+	if c.resize != nil {
+		c.resize(socs)
 	}
 }
 
@@ -199,8 +214,9 @@ func (s *Server) SetQuota(tenant string, q Quota) {
 
 // SetHour advances the simulated clock and reschedules: as the tidal
 // trace's busy fraction falls, queued jobs pack into the freed window;
-// as it rises, nothing is killed, but no new jobs start past the
-// shrunken capacity.
+// as it rises, preemptible jobs past the shrunken capacity are parked
+// at their next epoch boundary (non-preemptible jobs are never
+// touched), and no new jobs start past it.
 func (s *Server) SetHour(h float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -319,6 +335,22 @@ func (s *Server) startLocked(j *job) {
 			j.epochs = epoch + 1
 		}
 		s.mu.Unlock()
+	}
+	ctl.resize = func(socs int) {
+		if socs < 1 {
+			socs = 1
+		}
+		if socs > s.cfg.TotalSoCs {
+			socs = s.cfg.TotalSoCs
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Only the live segment may resize, and only while it holds SoCs.
+		if j.ctl != ctl || (j.state != JobRunning && j.state != JobParking) || socs == j.spec.SoCs {
+			return
+		}
+		j.spec.SoCs = socs
+		s.rescheduleLocked()
 	}
 	j.ctl = ctl
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"socflow/internal/cluster"
 )
@@ -350,5 +351,103 @@ func TestListOrderAndUnknown(t *testing.T) {
 	}
 	if _, err := s.Wait(context.Background(), "nope"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Wait unknown: %v", err)
+	}
+}
+
+// The co-location protocol end to end: a non-preemptible serving job
+// widens its footprint with the request tide via Controller.Resize,
+// the overflow-parking path squeezes preemptible training off the
+// cluster at its next epoch boundary, and the ebb resumes it from
+// where it parked. One time.Sleep-free exception: the park transition
+// happens on the segment goroutine, so the test polls for it.
+func TestResizeSqueezesTraining(t *testing.T) {
+	s := New(Config{TotalSoCs: 12})
+	defer s.Close()
+
+	waitState := func(id string, want State) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			if st, _ := s.Get(id); st.State == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st, _ := s.Get(id)
+		t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+	}
+
+	// Serving holds 2 SoCs at the trough and never parks.
+	srvBegin := make(chan *Controller, 1)
+	srvDone := make(chan struct{})
+	srvID, err := s.Submit(JobSpec{Tenant: "web", Priority: 9, SoCs: 2,
+		Run: func(ctx context.Context, ctl *Controller) (any, error) {
+			srvBegin <- ctl
+			<-srvDone
+			return "served", nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCtl := <-srvBegin
+
+	// Training fills most of the rest.
+	trBegin, trStep, trAck := make(chan *Controller, 1), make(chan struct{}), make(chan struct{})
+	trID, err := s.Submit(JobSpec{Tenant: "lab", SoCs: 8, Epochs: 4,
+		Preemptible: true, Run: fakeRun(4, trBegin, trStep, trAck)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-trBegin
+	trStep <- struct{}{} // epoch 0 completes...
+	<-trAck              // ...before the tide rises
+
+	// The tide rises: serving needs 10 of the 12 SoCs. Training (8)
+	// no longer fits and must be told to park.
+	srvCtl.Resize(10)
+	if st, _ := s.Get(srvID); st.SoCs != 10 {
+		t.Fatalf("serving SoCs after resize = %d, want 10", st.SoCs)
+	}
+	if st, _ := s.Get(trID); st.State != JobParking {
+		t.Fatalf("training state after serving grew = %s, want parking", st.State)
+	}
+	trStep <- struct{}{} // training reaches the epoch-1 boundary and parks
+	<-trAck
+	waitState(trID, JobParked)
+
+	// While the tide is high, training stays off the cluster.
+	if st, _ := s.Get(trID); st.EpochsDone != 2 || st.Parks != 1 {
+		t.Fatalf("parked training status: %+v", st)
+	}
+
+	// Resize clamps to the cluster size.
+	srvCtl.Resize(100)
+	if st, _ := s.Get(srvID); st.SoCs != 12 {
+		t.Fatalf("resize past TotalSoCs gave %d, want clamp to 12", st.SoCs)
+	}
+
+	// The tide ebbs: serving narrows, training resumes from epoch 2.
+	srvCtl.Resize(2)
+	ctl2 := <-trBegin
+	if ctl2.StartEpoch() != 2 {
+		t.Fatalf("resume StartEpoch = %d, want 2", ctl2.StartEpoch())
+	}
+	trStep <- struct{}{}
+	<-trAck
+	trStep <- struct{}{}
+	<-trAck
+	res, err := s.Wait(context.Background(), trID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "trained" {
+		t.Fatalf("training result = %v", res)
+	}
+	if st, _ := s.Get(trID); st.Resumes != 1 {
+		t.Fatalf("training resumes = %d, want 1", st.Resumes)
+	}
+
+	close(srvDone)
+	if _, err := s.Wait(context.Background(), srvID); err != nil {
+		t.Fatal(err)
 	}
 }

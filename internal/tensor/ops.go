@@ -312,11 +312,21 @@ func SoftmaxInto(dst, a *Tensor) {
 // ArgmaxRows returns the per-row argmax of a 2-D tensor, i.e. the
 // predicted class indices for a batch of logits.
 func ArgmaxRows(a *Tensor) []int {
+	return ArgmaxRowsInto(nil, a)
+}
+
+// ArgmaxRowsInto is ArgmaxRows writing into dst, reallocating only when
+// dst is too small — the allocation-free form for serving loops that
+// classify the same batch shape repeatedly.
+func ArgmaxRowsInto(dst []int, a *Tensor) []int {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: ArgmaxRows of %v", a.Shape))
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := make([]int, m)
+	if cap(dst) < m {
+		dst = make([]int, m)
+	}
+	out := dst[:m]
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : (i+1)*n]
 		best, bi := row[0], 0

@@ -10,7 +10,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
-    ./internal/core ./internal/runtime ./internal/transport ./internal/metrics
+    ./internal/core ./internal/runtime ./internal/transport ./internal/metrics \
+    ./internal/serve ./internal/server
 go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
     ./internal/runtime ./internal/transport
 # The metrics registry is written to from every worker goroutine at
@@ -19,6 +20,10 @@ go test -race -count 2 ./internal/metrics
 # Control-plane smoke gate: daemon + two tenants' jobs over HTTP with
 # quota enforcement, under the race detector.
 make server-smoke
+# Serving smoke gate: a low-tide serving window through the facade
+# (and over HTTP) must hold >= 99% SLO attainment with deterministic
+# reports, under the race detector.
+make serve-smoke
 # Elastic-recovery chaos gate: seeded randomized fault schedules
 # (crash windows, rejoins, stragglers, link drops) must converge or
 # tear down cleanly under the race detector.

@@ -84,8 +84,18 @@ func (s *Server) Handler() http.Handler {
 				return server.JobSpec{}, fmt.Errorf("socflow: decoding distributed config: %w", err)
 			}
 			return buildDistributedSpec(context.Background(), cfg.withDefaults(), o, nil)
+		case "serve":
+			var cfg ServeConfig
+			if err := json.Unmarshal(req.Config, &cfg); err != nil {
+				return server.JobSpec{}, fmt.Errorf("socflow: decoding serve config: %w", err)
+			}
+			cfg = cfg.withDefaults()
+			if err := cfg.validate(); err != nil {
+				return server.JobSpec{}, err
+			}
+			return buildServeSpec(context.Background(), cfg, o, nil)
 		default:
-			return server.JobSpec{}, fmt.Errorf("socflow: unknown job kind %q (want \"train\" or \"distributed\")", req.Kind)
+			return server.JobSpec{}, fmt.Errorf("socflow: unknown job kind %q (want \"train\", \"distributed\", or \"serve\")", req.Kind)
 		}
 	})
 }
