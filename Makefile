@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke serve-smoke bench-colocation ci
+.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke serve-smoke bench-colocation bench-autopar ci
 
 all: ci
 
@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
 		./internal/core ./internal/runtime ./internal/transport ./internal/metrics \
-		./internal/serve ./internal/server
+		./internal/serve ./internal/server ./internal/plan
 
 # Seeded chaos suite: randomized crash/straggle/link-drop/rejoin
 # schedules against the elastic recovery track, under the race
@@ -65,6 +65,15 @@ bench-elastic:
 bench-colocation:
 	$(GO) run ./cmd/socflow-bench --exp colocation --samples 480 \
 		--metrics-out BENCH_pr8.json
+
+# Auto-parallelization experiment: the planner searches group count ×
+# pipeline depth × placement over the simnet cost model and the table
+# shows the searched hybrid beating pure and grouped data parallelism
+# on ResNet-34 at 8/16/32 SoCs, with predicted epoch time equal to the
+# executed one; emits BENCH_pr9.json.
+bench-autopar:
+	$(GO) run ./cmd/socflow-bench --exp autopar --samples 480 --epochs 6 \
+		--metrics-out BENCH_pr9.json
 
 bench-report:
 	$(GO) run ./cmd/socflow-bench --exp scalability --samples 480 --epochs 6 \

@@ -1,0 +1,143 @@
+package socflow
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// autoparConfig is a small sync-bound configuration the planner
+// pipelines: a deep model on single-group 8-SoC clusters with the
+// paper batch floored so data parallelism starves.
+func autoparConfig() Config {
+	return Config{
+		JobSpec: JobSpec{
+			Model: "resnet34", Dataset: "cifar10", Epochs: 2, GlobalBatch: 8,
+			LR: 0.02, Momentum: 0.9, Seed: 11, TrainSamples: 128, ValSamples: 64,
+		},
+		NumSoCs:     8,
+		Groups:      1,
+		PaperBatch:  8,
+		Parallelism: "auto",
+	}
+}
+
+func TestRunAutoParallelismPicksPipeline(t *testing.T) {
+	cfg := autoparConfig()
+	p, err := PlanParallelism(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != "pipeline" {
+		t.Fatalf("planner chose %q for the sync-bound config, want pipeline", p.Mode)
+	}
+	if p.EpochSeconds >= p.DataEpochSeconds {
+		t.Fatalf("pipeline plan (%.1fs) does not beat data parallelism (%.1fs)",
+			p.EpochSeconds, p.DataEpochSeconds)
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "Pipeline" {
+		t.Fatalf("auto parallelism ran strategy %q, want Pipeline", rep.Strategy)
+	}
+	if len(rep.EpochAccuracies) != 2 {
+		t.Fatalf("ran %d epochs", len(rep.EpochAccuracies))
+	}
+	// The report's simulated time is the planner's prediction — one
+	// shared pricer on both sides.
+	if want := 2 * p.EpochSeconds; rep.SimSeconds != want {
+		t.Fatalf("simulated %.3fs, planner predicted %.3fs", rep.SimSeconds, want)
+	}
+}
+
+// WithPlan executes a pre-searched plan, and equal (config, plan)
+// pairs are bit-reproducible through the whole facade stack.
+func TestWithPlanReproducible(t *testing.T) {
+	cfg := autoparConfig()
+	cfg.Parallelism = "" // the plan, not the config, selects the mode
+	p, err := PlanParallelism(autoparConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		rep, err := Run(context.Background(), cfg, WithPlan(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Strategy != "Pipeline" {
+		t.Fatalf("WithPlan ran strategy %q, want Pipeline", a.Strategy)
+	}
+	if !reflect.DeepEqual(a.EpochAccuracies, b.EpochAccuracies) {
+		t.Fatalf("equal plans diverged: %v vs %v", a.EpochAccuracies, b.EpochAccuracies)
+	}
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("simulated time diverged: %v vs %v", a.SimSeconds, b.SimSeconds)
+	}
+}
+
+// A data-mode plan maps onto the paper's grouped protocol at the
+// plan's group count.
+func TestWithPlanDataModeRunsSoCFlow(t *testing.T) {
+	cfg := Config{
+		JobSpec: JobSpec{
+			Model: "lenet5", Dataset: "fmnist", Epochs: 1, GlobalBatch: 16,
+			LR: 0.02, Momentum: 0.9, Seed: 3, TrainSamples: 128, ValSamples: 64,
+		},
+		NumSoCs:    4,
+		Groups:     2,
+		PaperBatch: 64,
+	}
+	p, err := PlanParallelism(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != "data" {
+		t.Skipf("planner chose %q for lenet5; the data-mode mapping test needs a data plan", p.Mode)
+	}
+	rep, err := Run(context.Background(), cfg, WithPlan(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "SoCFlow" {
+		t.Fatalf("data plan ran strategy %q, want SoCFlow", rep.Strategy)
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	cfg := autoparConfig()
+	cfg.Parallelism = "tensor"
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrUnknownParallelism) {
+		t.Fatalf("bad parallelism: got %v, want ErrUnknownParallelism", err)
+	}
+
+	cfg = autoparConfig()
+	cfg.Strategy = "ring"
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrUnknownParallelism) {
+		t.Fatalf("auto parallelism on a baseline: got %v, want ErrUnknownParallelism", err)
+	}
+
+	p, err := PlanParallelism(autoparConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = autoparConfig()
+	cfg.Parallelism = ""
+	cfg.NumSoCs = 16 // plan was searched for 8
+	if _, err := Run(context.Background(), cfg, WithPlan(p)); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("mismatched plan: got %v, want ErrBadPlan", err)
+	}
+
+	bad := *p
+	bad.MicroBatches = 0
+	cfg = autoparConfig()
+	cfg.Parallelism = ""
+	if _, err := Run(context.Background(), cfg, WithPlan(&bad)); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("invalid plan: got %v, want ErrBadPlan", err)
+	}
+}

@@ -492,7 +492,7 @@ func buildTrainSpec(submitCtx context.Context, cfg Config, o runOptions, h *jobR
 		}
 		job.ShouldPark = ctl.ParkRequested
 
-		strat, err := buildStrategy(ctx, cfg)
+		strat, err := buildStrategy(ctx, cfg, o)
 		if err != nil {
 			return nil, err
 		}

@@ -131,6 +131,9 @@ func catalog() []experiment {
 		{"colocation", "extension: SLO-batched serving resizes with the tide while co-located training parks and resumes", func(o exp.Options, _ bool) ([]*exp.Table, error) {
 			return one(exp.ExpColocation(o))
 		}},
+		{"autopar", "extension: auto-parallelization planner vs data parallelism (ResNet-34, 8-32 SoCs)", func(o exp.Options, _ bool) ([]*exp.Table, error) {
+			return one(exp.ExpAutopar(o))
+		}},
 	}
 }
 

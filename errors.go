@@ -32,4 +32,10 @@ var (
 	ErrBadOption = errors.New("socflow: invalid option")
 	// ErrBadModelSpec reports an invalid RegisterModel specification.
 	ErrBadModelSpec = errors.New("socflow: invalid model spec")
+	// ErrUnknownParallelism reports a Config.Parallelism value outside
+	// ""/data/auto/pipeline, or one combined with a baseline strategy.
+	ErrUnknownParallelism = errors.New("socflow: unknown parallelism")
+	// ErrBadPlan reports a WithPlan plan that fails validation or does
+	// not match the configured cluster.
+	ErrBadPlan = errors.New("socflow: invalid parallelization plan")
 )

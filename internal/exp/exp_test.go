@@ -617,3 +617,34 @@ func TestExpColocationParksAndStaysBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestExpAutoparHybridBeatsDataParallel(t *testing.T) {
+	o := fastOpts()
+	o.Epochs = 2
+	o.TrainSamples = 240
+	o.ValSamples = 60
+	tb, err := ExpAutopar(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d, want the 8/16/32-SoC sweep", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[1], "pipeline") {
+			t.Fatalf("%s SoCs: planner chose %q, want a pipeline hybrid", row[0], row[1])
+		}
+		// The hybrid must beat both pure and grouped data parallelism
+		// on simulated epoch makespan (the acceptance bar), and the
+		// executed epoch must equal the planner's prediction.
+		if v := cellFloat(t, row[5]); v <= 1 {
+			t.Fatalf("%s SoCs: hybrid does not beat the all-fleet ring (%.3fx)", row[0], v)
+		}
+		if v := cellFloat(t, row[6]); v <= 1 {
+			t.Fatalf("%s SoCs: hybrid does not beat grouped DP (%.3fx)", row[0], v)
+		}
+		if row[4] != row[7] {
+			t.Fatalf("%s SoCs: executed epoch %s != predicted %s", row[0], row[4], row[7])
+		}
+	}
+}

@@ -66,6 +66,14 @@ var zoo = map[string]*Spec{
 		EpochsToConverge: 90,
 		BuildMicro:       buildResNetMicro,
 	},
+	"resnet34": {
+		Name:             "resnet34",
+		Params:           21_280_000, // 85.1 MB ring payload, scaled from resnet18's calibration
+		ForwardGFLOPs:    1.16,
+		NPUSpeedup:       6.0,
+		EpochsToConverge: 90,
+		BuildMicro:       buildResNet34Micro,
+	},
 	"mobilenetv1": {
 		Name:             "mobilenetv1",
 		Params:           4_230_000,
@@ -216,6 +224,30 @@ func buildResNetMicro(r *tensor.RNG, inC, imgSize, classes int) *Sequential {
 		NewReLU(),
 		basicBlock(r, 8, 8, 1),
 		basicBlock(r, 8, 16, 2),
+		NewGlobalAvgPool(),
+		NewDense(r, 16, classes),
+	)
+}
+
+// buildResNet34Micro mirrors ResNet-34's deeper basic-block plan at
+// micro scale: a stride-2 stem then eight residual blocks. Thirteen
+// top-level layers with near-uniform training cost, so the pipeline
+// partitioner can cut it into up to thirteen balanced stages — this is
+// the planner's deep-model workhorse.
+func buildResNet34Micro(r *tensor.RNG, inC, imgSize, classes int) *Sequential {
+	_ = imgSize
+	return NewSequential(
+		NewConv2D(r, inC, 8, 3, 2, 1),
+		NewBatchNorm2D(8),
+		NewReLU(),
+		basicBlock(r, 8, 8, 1),
+		basicBlock(r, 8, 8, 1),
+		basicBlock(r, 8, 8, 1),
+		basicBlock(r, 8, 16, 2),
+		basicBlock(r, 16, 16, 1),
+		basicBlock(r, 16, 16, 1),
+		basicBlock(r, 16, 16, 1),
+		basicBlock(r, 16, 16, 1),
 		NewGlobalAvgPool(),
 		NewDense(r, 16, classes),
 	)

@@ -224,7 +224,7 @@ func TestCopyWeightsFrom(t *testing.T) {
 
 func TestModelZooCatalog(t *testing.T) {
 	names := ModelNames()
-	want := []string{"lenet5", "mobilenetv1", "resnet18", "resnet50", "vgg11"}
+	want := []string{"lenet5", "mobilenetv1", "resnet18", "resnet34", "resnet50", "vgg11"}
 	if len(names) != len(want) {
 		t.Fatalf("catalog = %v", names)
 	}

@@ -1,0 +1,407 @@
+// Package plan is the auto-parallelization planner: it searches the
+// combined split space — data-parallel group count × pipeline depth ×
+// micro-batch count × stage placement onto PCBs — and prices every
+// candidate on the same calibrated models the runtime executes against
+// (cluster.StepTime for compute, internal/simnet for activation
+// transfers, internal/collective for gradient rings). The returned
+// Plan is executed verbatim by the runtime: core's Pipeline strategy
+// prices its epochs with the same Pricer the search used, so the
+// planner's prediction and the executed timeline are one formula.
+//
+// The search generalizes the serving plane's partitioner to training:
+// stages are balanced under serve.TrainingWeight (3× forward FLOPs +
+// parameter residency) instead of the forward-only serving weight, and
+// stage boundaries carry traffic both ways (forward activations and
+// backward input-gradients).
+//
+// Everything is deterministic: fixed enumeration order, strict `<`
+// improvement, and the seeded micro model used only for the layer-cost
+// shape walk. Same Options, same Plan — always.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"socflow/internal/cluster"
+	"socflow/internal/collective"
+	"socflow/internal/nn"
+	"socflow/internal/serve"
+	"socflow/internal/simnet"
+)
+
+// Mode is the within-group parallelization a plan chose.
+type Mode string
+
+// Within-group modes.
+const (
+	// ModeData replicates the model on every group member and runs
+	// synchronous SGD with per-iteration ring all-reduce (the SoCFlow
+	// default).
+	ModeData Mode = "data"
+	// ModePipeline splits the model's layers across the group's members
+	// and streams GPipe-style micro-batches through the stages;
+	// gradients for each stage stay on its SoC, so per-iteration
+	// synchronization disappears entirely (cross-group averaging happens
+	// once per epoch, delayed-aggregation style).
+	ModePipeline Mode = "pipeline"
+)
+
+// DefaultActivationScale maps micro activation volumes to paper scale —
+// the (32/8)² area ratio between paper and micro inputs. Mirrors the
+// serving engine's default.
+const DefaultActivationScale = 16
+
+// overlapFraction is the layer-wise gradient/compute overlap the
+// executed SyncSGD schedule hides communication behind (§4.1
+// optimization 1). It mirrors internal/core's constant of the same
+// name; core imports this package, so the value is duplicated here and
+// must stay in lockstep with core/engine.go.
+const overlapFraction = 0.75
+
+// updateSeconds mirrors core's updateTimePerStep (core/engine.go):
+// the optimizer touches each parameter ~3 times (grad read, velocity
+// update, weight write) at LPDDR5-bound effective throughput.
+func updateSeconds(spec *nn.Spec) float64 { return float64(spec.Params) * 12 / 20e9 }
+
+// Plan is one point in the parallelization space, priced and ready to
+// execute.
+type Plan struct {
+	// NumSoCs is the cluster size the plan was searched for.
+	NumSoCs int
+	// Mode is the within-group parallelization.
+	Mode Mode
+	// Placement[g] lists group g's member SoC IDs. In pipeline mode,
+	// member i of each group runs stage i; members beyond the pipeline
+	// depth idle (the search only keeps such plans when they still win).
+	Placement [][]int
+	// Stages is the balanced layer partition (pipeline mode only).
+	Stages []serve.Stage
+	// MicroBatches is GPipe's M: how many micro-batches each mini-batch
+	// is split into (pipeline mode only).
+	MicroBatches int
+	// Batch is the per-group mini-batch the plan was priced at.
+	Batch int
+
+	// EpochSeconds is the predicted epoch makespan of this plan.
+	EpochSeconds float64
+	// DataEpochSeconds is the best pure data-parallel candidate's
+	// predicted epoch makespan — the planner's own baseline, reported so
+	// callers can see the margin the chosen plan wins by.
+	DataEpochSeconds float64
+	// Candidates is how many plans the search priced.
+	Candidates int
+}
+
+// Groups returns the data-parallel group count.
+func (p *Plan) Groups() int { return len(p.Placement) }
+
+// Depth returns the pipeline depth (1 for data-parallel plans).
+func (p *Plan) Depth() int {
+	if p.Mode == ModePipeline {
+		return len(p.Stages)
+	}
+	return 1
+}
+
+// String renders the plan compactly for reports, e.g.
+// "pipeline n=4 d=8 M=4 b=8" or "data n=8 k=4 b=64".
+func (p *Plan) String() string {
+	if p == nil {
+		return "<nil plan>"
+	}
+	if p.Mode == ModePipeline {
+		return fmt.Sprintf("pipeline n=%d d=%d M=%d b=%d", p.Groups(), p.Depth(), p.MicroBatches, p.Batch)
+	}
+	k := 0
+	if len(p.Placement) > 0 {
+		k = len(p.Placement[0])
+	}
+	return fmt.Sprintf("data n=%d k=%d b=%d", p.Groups(), k, p.Batch)
+}
+
+// Validate checks the plan is internally consistent and executable on
+// a NumSoCs-wide cluster.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("plan: nil plan")
+	}
+	if len(p.Placement) == 0 {
+		return fmt.Errorf("plan: empty placement")
+	}
+	if p.Batch < 1 {
+		return fmt.Errorf("plan: batch %d, want >= 1", p.Batch)
+	}
+	seen := make(map[int]bool)
+	k := len(p.Placement[0])
+	for g, members := range p.Placement {
+		if len(members) != k {
+			return fmt.Errorf("plan: group %d has %d members, group 0 has %d", g, len(members), k)
+		}
+		for _, soc := range members {
+			if soc < 0 || (p.NumSoCs > 0 && soc >= p.NumSoCs) {
+				return fmt.Errorf("plan: group %d places SoC %d outside the %d-SoC cluster", g, soc, p.NumSoCs)
+			}
+			if seen[soc] {
+				return fmt.Errorf("plan: SoC %d placed twice", soc)
+			}
+			seen[soc] = true
+		}
+	}
+	switch p.Mode {
+	case ModeData:
+		if len(p.Stages) != 0 {
+			return fmt.Errorf("plan: data mode with %d pipeline stages", len(p.Stages))
+		}
+	case ModePipeline:
+		d := len(p.Stages)
+		if d < 2 {
+			return fmt.Errorf("plan: pipeline mode needs >= 2 stages, have %d", d)
+		}
+		if d > k {
+			return fmt.Errorf("plan: %d stages for %d-member groups", d, k)
+		}
+		if p.MicroBatches < 1 {
+			return fmt.Errorf("plan: pipeline mode needs MicroBatches >= 1, have %d", p.MicroBatches)
+		}
+		if p.MicroBatches > p.Batch {
+			return fmt.Errorf("plan: %d micro-batches for batch %d", p.MicroBatches, p.Batch)
+		}
+	default:
+		return fmt.Errorf("plan: unknown mode %q", p.Mode)
+	}
+	return nil
+}
+
+// IterationsPerEpoch returns how many iterations one epoch runs at
+// paper scale: the groups share the sample budget, exactly as the
+// executed SoCFlow timeline counts (Eq. 1 numerator).
+func (p *Plan) IterationsPerEpoch(samples int) int {
+	iters := samples / (len(p.Placement) * p.Batch)
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
+}
+
+// EpochSecondsOn prices the plan's epoch makespan on the given cluster
+// and model with a fresh Pricer. Hot loops (the search, the executing
+// strategy) hold one Pricer instead.
+func (p *Plan) EpochSecondsOn(clu *cluster.Cluster, spec *nn.Spec, samples int) float64 {
+	return NewPricer(clu, spec).EpochSeconds(p, samples)
+}
+
+// Timing is the priced steady-state schedule of one pipeline group.
+type Timing struct {
+	// StageSeconds[i] is stage i's compute time for one micro-batch.
+	StageSeconds []float64
+	// XferSeconds[i] is the boundary i→i+1 activation/gradient transfer
+	// time for one micro-batch (forward activations one way, backward
+	// input-gradients the other, priced as concurrent simnet flows).
+	XferSeconds []float64
+	// Bottleneck is the slowest slot (stage compute + its outgoing
+	// transfer) — the pipeline's initiation interval.
+	Bottleneck float64
+	// UpdateSeconds is the per-iteration optimizer cost: stages update
+	// their own parameters in parallel, so the largest stage's share.
+	UpdateSeconds float64
+	// IterSeconds is one mini-batch through the pipeline at steady
+	// state: (M + d - 1) bottleneck slots plus the update.
+	IterSeconds float64
+}
+
+// Pricer prices plans for one cluster + model pair. It owns a reusable
+// simnet Simulator and flow scratch so the search hot loop — thousands
+// of boundary transfers across candidates — re-simulates without
+// rebuilding simulator state. Not safe for concurrent use.
+type Pricer struct {
+	Clu  *cluster.Cluster
+	Spec *nn.Spec
+	// ActScale maps micro activation elements to paper-scale bytes
+	// (default DefaultActivationScale).
+	ActScale float64
+
+	sim      *simnet.Simulator
+	fwd, bwd simnet.Flow
+	flows    [2]*simnet.Flow
+	members  []int // cross-group ring scratch
+}
+
+// NewPricer builds a pricer around a reusable simulator.
+func NewPricer(clu *cluster.Cluster, spec *nn.Spec) *Pricer {
+	pr := &Pricer{Clu: clu, Spec: spec, ActScale: DefaultActivationScale, sim: simnet.NewSimulator()}
+	pr.flows = [2]*simnet.Flow{&pr.fwd, &pr.bwd}
+	return pr
+}
+
+// EpochSeconds prices one epoch of the plan at paper scale.
+func (pr *Pricer) EpochSeconds(p *Plan, samples int) float64 {
+	iters := p.IterationsPerEpoch(samples)
+	if p.Mode == ModePipeline {
+		worst := 0.0
+		for g := range p.Placement {
+			if t := pr.GroupTiming(p, g).IterSeconds; t > worst {
+				worst = t
+			}
+		}
+		return float64(iters)*worst + pr.CrossGroupSyncSeconds(p)
+	}
+	return pr.dataEpochSeconds(p, iters)
+}
+
+// GroupTiming prices group g's pipeline steady state. Stage compute is
+// the stage's TrainingWeight share of the full training step on its
+// SoC (the per-batch dispatch overhead is paid once per stage per
+// micro-batch — splitting a model does not split the runtime's launch
+// cost, which is exactly what makes over-deep pipelines lose).
+func (pr *Pricer) GroupTiming(p *Plan, g int) Timing {
+	d := len(p.Stages)
+	mb := p.Batch / p.MicroBatches
+	if mb < 1 {
+		mb = 1
+	}
+	var wTotal float64
+	var pTotal int64
+	for _, st := range p.Stages {
+		wTotal += st.TrainingWeight()
+		pTotal += st.Params
+	}
+	t := Timing{
+		StageSeconds: make([]float64, d),
+		XferSeconds:  make([]float64, d-1),
+	}
+	for i, st := range p.Stages {
+		soc := p.Placement[g][i]
+		overhead := cluster.CPUBatchOverhead / pr.Clu.SoCs[soc].Throttle
+		full := pr.Clu.StepTime(soc, pr.Spec, mb, cluster.CPU)
+		t.StageSeconds[i] = (full-overhead)*st.TrainingWeight()/wTotal + overhead
+		if frac := float64(st.Params) / float64(pTotal) * updateSeconds(pr.Spec); frac > t.UpdateSeconds {
+			t.UpdateSeconds = frac
+		}
+	}
+	for i := 0; i < d-1; i++ {
+		bytes := float64(p.Stages[i].OutElems) * pr.ActScale * 4 * float64(mb)
+		t.XferSeconds[i] = pr.boundarySeconds(p.Placement[g][i], p.Placement[g][i+1], bytes)
+	}
+	for i := 0; i < d; i++ {
+		slot := t.StageSeconds[i]
+		if i < d-1 {
+			slot += t.XferSeconds[i]
+		}
+		if slot > t.Bottleneck {
+			t.Bottleneck = slot
+		}
+	}
+	t.IterSeconds = float64(p.MicroBatches+d-1)*t.Bottleneck + t.UpdateSeconds
+	return t
+}
+
+// boundarySeconds prices one micro-batch crossing a stage boundary:
+// the forward activations and the previous micro-batch's backward
+// input-gradients are in flight simultaneously at steady state, on
+// opposite directions of the same SoC pair.
+func (pr *Pricer) boundarySeconds(a, b int, bytes float64) float64 {
+	if a == b {
+		return 0
+	}
+	pr.fwd = simnet.Flow{Name: "act.fwd", Path: pr.Clu.Path(a, b), Bytes: bytes}
+	pr.bwd = simnet.Flow{Name: "act.bwd", Path: pr.Clu.Path(b, a), Bytes: bytes}
+	return pr.sim.Simulate(pr.flows[:])
+}
+
+// CrossGroupSyncSeconds prices the pipeline plan's per-epoch delayed
+// aggregation: each stage position averages its parameter slice across
+// groups with a ring all-reduce over the SoCs holding that stage. The
+// windows run sequentially — they contend on the same PCB uplinks —
+// which is also how the executing strategy schedules them.
+func (pr *Pricer) CrossGroupSyncSeconds(p *Plan) float64 {
+	n := len(p.Placement)
+	if n < 2 || p.Mode != ModePipeline {
+		return 0
+	}
+	var pTotal int64
+	for _, st := range p.Stages {
+		pTotal += st.Params
+	}
+	if cap(pr.members) < n {
+		pr.members = make([]int, n)
+	}
+	members := pr.members[:n]
+	var sum float64
+	for i, st := range p.Stages {
+		for g := range p.Placement {
+			members[g] = p.Placement[g][i]
+		}
+		payload := float64(st.Params) / float64(pTotal) * float64(pr.Spec.GradBytes())
+		sum += collective.RingAllReduceTime(pr.Clu, members, payload)
+	}
+	return sum
+}
+
+// dataEpochSeconds prices a data-parallel candidate the way the
+// executed schedule behaves: per-iteration compute is set by the
+// slowest group member at its ceil(batch/k) share, intra-group rings
+// run in the interleaved two-CG schedule (even/odd groups — the
+// 2-coloring integrity-greedy mappings admit), layer-wise aggregation
+// hides overlapFraction of compute behind the transfer, and the epoch
+// ends with the delayed leader-ring + broadcast aggregation. This is
+// the steady-state closed form of core's event-driven timeline.
+func (pr *Pricer) dataEpochSeconds(p *Plan, iters int) float64 {
+	n := len(p.Placement)
+	k := len(p.Placement[0])
+	perSoC := (p.Batch + k - 1) / k
+	if perSoC < 1 {
+		perSoC = 1
+	}
+	var compute float64
+	for _, members := range p.Placement {
+		for _, soc := range members {
+			if t := pr.Clu.StepTime(soc, pr.Spec, perSoC, cluster.CPU); t > compute {
+				compute = t
+			}
+		}
+	}
+	upd := updateSeconds(pr.Spec)
+	payload := float64(pr.Spec.GradBytes())
+
+	iterT := compute + upd
+	if k > 1 {
+		// Two interleaved CG windows (even / odd groups).
+		var cgSync [2]float64
+		for j := 0; j < 2 && j < n; j++ {
+			var sets [][]int
+			for g := j; g < n; g += 2 {
+				sets = append(sets, p.Placement[g])
+			}
+			cgSync[j] = collective.ConcurrentRingTime(pr.Clu, sets, payload)
+		}
+		own := math.Max(cgSync[0], cgSync[1])
+		nic := cgSync[0] + cgSync[1]
+		iterT = math.Max(iterT, (1-overlapFraction)*(compute+upd)+own)
+		iterT = math.Max(iterT, nic)
+	}
+	epoch := float64(iters) * iterT
+
+	if n > 1 {
+		// Delayed aggregation: leader ring + intra-group broadcast.
+		if cap(pr.members) < n {
+			pr.members = make([]int, n)
+		}
+		leaders := pr.members[:n]
+		for g, members := range p.Placement {
+			leaders[g] = members[0]
+		}
+		epoch += collective.RingAllReduceTime(pr.Clu, leaders, payload)
+		var bMax float64
+		for _, members := range p.Placement {
+			if len(members) < 2 {
+				continue
+			}
+			if b := collective.BroadcastTime(pr.Clu, members[0], members, payload); b > bMax {
+				bMax = b
+			}
+		}
+		epoch += bMax
+	}
+	return epoch
+}

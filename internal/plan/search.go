@@ -1,0 +1,228 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"socflow/internal/cluster"
+	"socflow/internal/nn"
+	"socflow/internal/serve"
+	"socflow/internal/tensor"
+)
+
+// Options parameterizes a planner search.
+type Options struct {
+	// Spec is the paper-scale model card the candidates are priced
+	// against. Required.
+	Spec *nn.Spec
+	// Model is the micro model used for the layer-cost shape walk. When
+	// nil, one is built from Spec with a fixed seed and the default
+	// micro input (the walk only needs layer ratios, not weights).
+	Model *nn.Sequential
+	// InC and ImgSize are the micro input shape for the cost walk
+	// (defaults 3 and 8 — the CIFAR micro profile).
+	InC, ImgSize int
+	// Cluster is the target topology; built from NumSoCs with defaults
+	// when nil.
+	Cluster *cluster.Cluster
+	// NumSoCs is the cluster size. Required when Cluster is nil.
+	NumSoCs int
+	// MaxGroups caps the data-parallel group count — the statistical-
+	// efficiency (convergence) budget the caller is willing to spend on
+	// more groups, in the spirit of core.SelectGroupCount. 0 means no
+	// cap.
+	MaxGroups int
+	// GlobalBatch is the per-group mini-batch at paper scale. Required.
+	GlobalBatch int
+	// Samples is the paper-scale samples per epoch. Required.
+	Samples int
+	// ActivationScale overrides the micro→paper activation scaling
+	// (default DefaultActivationScale).
+	ActivationScale float64
+	// MinMicroBatch floors the GPipe micro-batch size (default 2:
+	// batch-norm layers degenerate on single-sample micro-batches — a
+	// one-sample batch normalizes every activation to its shift β).
+	MinMicroBatch int
+	// Only restricts which modes may win: "" considers both, ModeData
+	// or ModePipeline forces that mode. Data candidates are still
+	// priced under ModePipeline so DataEpochSeconds keeps reporting the
+	// baseline the pipeline is beating.
+	Only Mode
+}
+
+func (o Options) withDefaults() Options {
+	if o.InC == 0 {
+		o.InC = 3
+	}
+	if o.ImgSize == 0 {
+		o.ImgSize = 8
+	}
+	if o.Cluster != nil && o.NumSoCs == 0 {
+		o.NumSoCs = o.Cluster.Config.NumSoCs
+	}
+	if o.ActivationScale <= 0 {
+		o.ActivationScale = DefaultActivationScale
+	}
+	if o.MinMicroBatch <= 0 {
+		o.MinMicroBatch = 2
+	}
+	return o
+}
+
+// Search enumerates the parallelization space and returns the plan
+// with the smallest predicted epoch makespan. The space is the cross
+// product of
+//
+//   - group count n: every divisor of NumSoCs within MaxGroups, so
+//     groups are symmetric;
+//   - placement: contiguous (integrity-greedy-style, groups packed
+//     onto consecutive SoCs and therefore minimal PCB crossings) and
+//     strided (round-robin across PCBs) — the two extremes the Fig. 13
+//     mapping ablation compares;
+//   - within-group mode: data-parallel SSGD, or a pipeline of depth
+//     min(k, L) with GPipe micro-batch counts M dividing the batch
+//     subject to the MinMicroBatch floor.
+//
+// Enumeration order is fixed and improvement is strict, so equal
+// inputs always return the identical plan (the determinism test gates
+// tier-1 on this).
+func Search(o Options) (*Plan, error) {
+	o = o.withDefaults()
+	if o.Spec == nil {
+		return nil, fmt.Errorf("plan: Options.Spec is required")
+	}
+	if o.NumSoCs < 1 {
+		return nil, fmt.Errorf("plan: NumSoCs %d, want >= 1 (or pass a Cluster)", o.NumSoCs)
+	}
+	if o.GlobalBatch < 1 {
+		return nil, fmt.Errorf("plan: GlobalBatch %d, want >= 1", o.GlobalBatch)
+	}
+	if o.Samples < 1 {
+		return nil, fmt.Errorf("plan: Samples %d, want >= 1", o.Samples)
+	}
+	if o.Only != "" && o.Only != ModeData && o.Only != ModePipeline {
+		return nil, fmt.Errorf("plan: Only %q, want %q or %q", o.Only, ModeData, ModePipeline)
+	}
+	clu := o.Cluster
+	if clu == nil {
+		clu = cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	}
+	model := o.Model
+	if model == nil {
+		// Weights are irrelevant to the shape walk; the seed is fixed so
+		// the builder's RNG draws never perturb anything.
+		model = o.Spec.BuildMicro(tensor.NewRNG(1), o.InC, o.ImgSize, 10)
+	}
+	costs := serve.LayerCosts(model, o.InC, o.ImgSize)
+
+	pr := NewPricer(clu, o.Spec)
+	pr.ActScale = o.ActivationScale
+	m := o.NumSoCs
+
+	var (
+		best      *Plan
+		bestT     = math.Inf(1)
+		bestDataT = math.Inf(1)
+		cands     int
+	)
+	consider := func(p *Plan) {
+		t := pr.EpochSeconds(p, o.Samples)
+		cands++
+		if p.Mode == ModeData && t < bestDataT {
+			bestDataT = t
+		}
+		if o.Only != "" && p.Mode != o.Only {
+			return
+		}
+		if t < bestT {
+			bestT = t
+			p.EpochSeconds = t
+			best = p
+		}
+	}
+
+	for n := 1; n <= m; n++ {
+		if m%n != 0 {
+			continue
+		}
+		if o.MaxGroups > 0 && n > o.MaxGroups {
+			continue
+		}
+		k := m / n
+		placements := [][][]int{contiguousPlacement(m, n)}
+		if n > 1 && k > 1 {
+			placements = append(placements, stridedPlacement(m, n))
+		}
+		for _, placement := range placements {
+			consider(&Plan{
+				NumSoCs:   m,
+				Mode:      ModeData,
+				Placement: placement,
+				Batch:     o.GlobalBatch,
+			})
+			if k < 2 || len(costs) < 2 || o.Only == ModeData {
+				continue
+			}
+			d := k
+			if d > len(costs) {
+				d = len(costs)
+			}
+			stages, err := serve.PartitionBy(costs, d, serve.TrainingWeight)
+			if err != nil {
+				return nil, err
+			}
+			for mcount := 1; mcount <= o.GlobalBatch; mcount++ {
+				if o.GlobalBatch%mcount != 0 {
+					continue
+				}
+				if o.GlobalBatch/mcount < o.MinMicroBatch {
+					break
+				}
+				consider(&Plan{
+					NumSoCs:      m,
+					Mode:         ModePipeline,
+					Placement:    placement,
+					Stages:       stages,
+					MicroBatches: mcount,
+					Batch:        o.GlobalBatch,
+				})
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("plan: no feasible candidate for %d SoCs", m)
+	}
+	best.DataEpochSeconds = bestDataT
+	best.Candidates = cands
+	return best, nil
+}
+
+// contiguousPlacement packs group g onto SoCs [g·k, (g+1)·k) — the
+// integrity-greedy shape: minimal PCB crossings per group.
+func contiguousPlacement(m, n int) [][]int {
+	k := m / n
+	placement := make([][]int, n)
+	for g := 0; g < n; g++ {
+		members := make([]int, k)
+		for i := range members {
+			members[i] = g*k + i
+		}
+		placement[g] = members
+	}
+	return placement
+}
+
+// stridedPlacement round-robins SoCs across groups: member i of group
+// g is SoC g + i·n, so every group spans as many PCBs as possible.
+func stridedPlacement(m, n int) [][]int {
+	k := m / n
+	placement := make([][]int, n)
+	for g := 0; g < n; g++ {
+		members := make([]int, k)
+		for i := range members {
+			members[i] = g + i*n
+		}
+		placement[g] = members
+	}
+	return placement
+}

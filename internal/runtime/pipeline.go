@@ -1,0 +1,318 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"socflow/internal/core"
+	"socflow/internal/dataset"
+	"socflow/internal/metrics"
+	"socflow/internal/nn"
+	autoplan "socflow/internal/plan"
+	"socflow/internal/tensor"
+	"socflow/internal/transport"
+)
+
+// PipelineConfig describes a distributed pipeline-parallel training
+// run executing an auto-parallelization plan over a mesh. The embedded
+// JobSpec supplies the shared hyperparameters; the schedule (sharding,
+// batch order, reshuffles) follows the core Pipeline strategy's seed
+// discipline exactly, so a mesh run and the in-process strategy are
+// bit-comparable.
+type PipelineConfig struct {
+	core.JobSpec
+	// Plan is the searched pipeline plan (plan.Search). Mode must be
+	// ModePipeline; Placement maps stage i of group g to mesh node
+	// Placement[g][i].
+	Plan *autoplan.Plan
+	// EpochEnd, when non-nil, is called by the global leader after each
+	// epoch with the 0-based epoch and validation accuracy.
+	EpochEnd func(epoch int, acc float64)
+	// Metrics, when non-nil, wraps the mesh with byte/message counters
+	// and receives per-epoch accuracy through ObserveEpoch.
+	Metrics *metrics.Registry
+}
+
+// RunPipeline executes a pipeline plan for real: one goroutine per
+// placed stage, activations and input-gradients crossing the mesh at
+// every stage boundary. Within a group, micro-batches of the GPipe
+// schedule flow one at a time — the micro model's layers hold a single
+// activation set, so a stage cannot keep two micro-batches in flight;
+// the overlapped schedule's *timing* is priced by the core strategy's
+// performance track, while this path validates the protocol and the
+// math. Stage parameters live and update where they are placed:
+// gradients never cross the wire inside an iteration. Across groups,
+// the nodes holding the same stage position ring-all-reduce their
+// stage's weights and batch-norm state once per epoch (delayed
+// aggregation), and group 0's stages ship their slices to the global
+// leader, which assembles the full model and evaluates.
+//
+// Failure domain matches RunDistributed: the first failing worker
+// closes the mesh so every peer unwinds, and cancelling ctx does the
+// same.
+func RunPipeline(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg PipelineConfig) (*DistResult, error) {
+	p := cfg.Plan
+	if p == nil {
+		return nil, fmt.Errorf("runtime: RunPipeline needs a plan (run plan.Search or pass one)")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Mode != autoplan.ModePipeline {
+		return nil, fmt.Errorf("runtime: RunPipeline got a %q plan; use RunDistributed for data parallelism", p.Mode)
+	}
+	if mesh.Size() != p.NumSoCs {
+		return nil, fmt.Errorf("runtime: plan places %d SoCs, mesh has %d nodes", p.NumSoCs, mesh.Size())
+	}
+	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
+	}
+	if cfg.Metrics != nil {
+		mesh = transport.WithMetrics(mesh, cfg.Metrics)
+	}
+
+	res := &DistResult{EpochAccuracies: make([]float64, cfg.Epochs)}
+	var resMu sync.Mutex
+	var wg sync.WaitGroup
+
+	var (
+		errMu      sync.Mutex
+		workerErrs []error
+		closeOnce  sync.Once
+	)
+	fail := func(id int, err error) {
+		errMu.Lock()
+		workerErrs = append(workerErrs, fmt.Errorf("stage worker %d: %w", id, err))
+		errMu.Unlock()
+		cfg.Metrics.Counter("runtime.worker.errors").Inc()
+		cfg.Metrics.Emit(metrics.Event{Kind: metrics.KindWorkerError, Node: id, Detail: err.Error()})
+		closeOnce.Do(func() { mesh.Close() })
+	}
+	stop := context.AfterFunc(ctx, func() { mesh.Close() })
+	defer stop()
+
+	d := p.Depth()
+	for g := range p.Placement {
+		// Members beyond the pipeline depth hold no stage and host no
+		// worker.
+		for i := 0; i < d; i++ {
+			wg.Add(1)
+			go func(g, i int) {
+				defer wg.Done()
+				id := p.Placement[g][i]
+				if err := runPipelineStage(mesh.Node(id), spec, train, val, cfg, g, i, res, &resMu); err != nil {
+					fail(id, err)
+				}
+			}(g, i)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(workerErrs) > 0 {
+		return nil, errors.Join(workerErrs...)
+	}
+	return res, nil
+}
+
+// runPipelineStage is one placed stage's whole life: the micro-batch
+// relay with its neighbours every iteration, the optimizer step on its
+// own parameters, and the per-epoch cross-group ring plus leader
+// gather.
+func runPipelineStage(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg PipelineConfig,
+	g, i int, res *DistResult, resMu *sync.Mutex) error {
+
+	p := cfg.Plan
+	n := p.Groups()
+	d := p.Depth()
+	st := p.Stages[i]
+	leader := p.Placement[0][0]
+	me := node.ID()
+
+	// Every node builds the identical full replica from the seed and
+	// then trains only its own contiguous layer slice. Fused stage
+	// execution is bit-identical to the unfused walk, so where the cut
+	// lands never changes the math.
+	model := spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
+	stage := nn.NewSequential(model.Layers[st.From : st.To+1]...)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	sync := append(stage.Weights(), stage.StateTensors()...)
+
+	// The leader reassembles the full model at epoch end: per-stage
+	// views into its own replica receive the gathered slices.
+	var stageSync [][]*tensor.Tensor
+	if me == leader {
+		stageSync = make([][]*tensor.Tensor, d)
+		for j := 0; j < d; j++ {
+			sj := p.Stages[j]
+			seq := nn.NewSequential(model.Layers[sj.From : sj.To+1]...)
+			stageSync[j] = append(seq.Weights(), seq.StateTensors()...)
+		}
+	}
+
+	// The stage-position ring across groups, in group order — every
+	// participant derives the identical member list from the plan.
+	ring := make([]int, n)
+	for gg := 0; gg < n; gg++ {
+		ring[gg] = p.Placement[gg][i]
+	}
+	var prev, next int = -1, -1
+	if i > 0 {
+		prev = p.Placement[g][i-1]
+	}
+	if i < d-1 {
+		next = p.Placement[g][i+1]
+	}
+
+	// Same seed discipline as the core Pipeline strategy, so the mesh
+	// run is bit-comparable to the in-process one.
+	shards := train.ShardIID(n, cfg.Seed+1)
+	shard := shards[g]
+	it := dataset.NewBatchIterator(shard, cfg.GlobalBatch, cfg.Seed+100+uint64(g))
+
+	reg := cfg.Metrics
+	cIters := reg.Counter("runtime.iterations")
+	cActBytes := reg.Counter("runtime.pipeline.act.bytes")
+	var syncFlat []float32
+
+	recvOne := func(from int) (*tensor.Tensor, error) {
+		msg, err := node.Recv(from)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := transport.DecodeTensors(msg)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) != 1 {
+			return nil, fmt.Errorf("runtime: stage boundary frame holds %d tensors, want 1", len(ts))
+		}
+		return ts[0], nil
+	}
+	sendOne := func(to int, t *tensor.Tensor) error {
+		payload := transport.EncodeTensors([]*tensor.Tensor{t})
+		cActBytes.Add(int64(len(payload)))
+		return node.Send(to, payload)
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := reg.BeginSpan("epoch", "stage", me)
+		steps := it.BatchesPerEpoch()
+		for s := 0; s < steps; s++ {
+			x, labels := it.Next()
+			bs := x.Shape[0]
+			micro := p.MicroBatches
+			if micro > bs {
+				micro = bs
+			}
+			stage.ZeroGrad()
+			for mbi := 0; mbi < micro; mbi++ {
+				lo := mbi * bs / micro
+				hi := (mbi + 1) * bs / micro
+				if lo == hi {
+					continue
+				}
+				// Forward relay: stage 0 feeds its micro-batch slice,
+				// everyone else transforms what the left neighbour sent.
+				var act *tensor.Tensor
+				if i == 0 {
+					act = stage.Forward(tensor.Rows(x, lo, hi), true)
+				} else {
+					in, err := recvOne(prev)
+					if err != nil {
+						return err
+					}
+					act = stage.Forward(in, true)
+				}
+				// Backward relay: the last stage turns logits into a loss
+				// gradient pre-scaled by the micro-batch's share (backward
+				// is linear in the output gradient, so the accumulated
+				// total is the full-batch mean gradient), and input
+				// gradients flow back to stage 0.
+				var outGrad *tensor.Tensor
+				if i == d-1 {
+					_, gr := nn.SoftmaxCrossEntropy(act, labels[lo:hi])
+					tensor.Scale(float32(hi-lo)/float32(bs), gr)
+					outGrad = gr
+				} else {
+					if err := sendOne(next, act); err != nil {
+						return err
+					}
+					gr, err := recvOne(next)
+					if err != nil {
+						return err
+					}
+					outGrad = gr
+				}
+				inGrad := stage.Backward(outGrad)
+				if i > 0 {
+					if err := sendOne(prev, inGrad); err != nil {
+						return err
+					}
+				}
+			}
+			opt.Step(stage.Params())
+			if i == 0 {
+				cIters.Inc()
+			}
+		}
+
+		// Delayed aggregation: same-stage nodes average their slice
+		// (weights and batch-norm state) across groups, once per epoch.
+		if n > 1 {
+			syncFlat = flattenInto(syncFlat, sync)
+			if err := RingAllReduceAverage(node, ring, syncFlat); err != nil {
+				return err
+			}
+			unflatten(syncFlat, sync)
+		}
+
+		// Group 0 ships its stage slices to the leader, which assembles
+		// the aggregated full model and evaluates.
+		if g == 0 && i > 0 {
+			if err := node.Send(leader, transport.EncodeTensors(sync)); err != nil {
+				return err
+			}
+		}
+		if me == leader {
+			for j := 1; j < d; j++ {
+				msg, err := node.Recv(p.Placement[0][j])
+				if err != nil {
+					return err
+				}
+				ts, err := transport.DecodeTensors(msg)
+				if err != nil {
+					return err
+				}
+				if len(ts) != len(stageSync[j]) {
+					return fmt.Errorf("runtime: stage %d gather holds %d tensors, want %d", j, len(ts), len(stageSync[j]))
+				}
+				for k, t := range ts {
+					stageSync[j][k].CopyFrom(t)
+				}
+			}
+			acc := accuracyOn(model, val)
+			resMu.Lock()
+			res.EpochAccuracies[epoch] = acc
+			if epoch == cfg.Epochs-1 {
+				res.Final = model
+			}
+			resMu.Unlock()
+			reg.ObserveEpoch(epoch, acc, 0)
+			if cfg.EpochEnd != nil {
+				cfg.EpochEnd(epoch, acc)
+			}
+		}
+
+		// Cross-group reshuffle (§3.1) — identical on every node, same
+		// seeds as the core Pipeline strategy.
+		shards = dataset.Reshuffle(shards, cfg.Seed+1000+uint64(epoch))
+		shard = shards[g]
+		it = dataset.NewBatchIterator(shard, cfg.GlobalBatch, cfg.Seed+2000+uint64(epoch)*uint64(n)+uint64(g))
+		epochSpan.End()
+	}
+	return nil
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"sort"
 )
 
 // Request is one inference request flowing through the batcher, stamped
@@ -99,7 +98,21 @@ func (b *Batcher) DueAt() (float64, bool) {
 // context was canceled while queued are dropped and counted, never
 // served. An empty queue flushes to nil — the timer can fire after the
 // tide recedes.
+//
+// Flush allocates the returned batch; steady-state loops should call
+// FlushInto with a reused buffer instead.
 func (b *Batcher) Flush(now float64) []Request {
+	return b.FlushInto(nil, now)
+}
+
+// FlushInto is Flush with a caller-owned destination: the batch is
+// appended into buf[:0] and the (possibly grown) slice returned, so a
+// replay loop reusing one buffer flushes with zero allocations once the
+// buffer has reached MaxBatch capacity. The EDF order itself is sorted
+// in place with an insertion sort — the sort.SliceStable closure would
+// otherwise allocate every flush — which stays cheap because the queue
+// is near-sorted between flushes and bounded by admission control.
+func (b *Batcher) FlushInto(buf []Request, now float64) []Request {
 	// Drop canceled requests first so they neither occupy batch slots
 	// nor skew EDF order.
 	live := b.queue[:0]
@@ -112,25 +125,39 @@ func (b *Batcher) Flush(now float64) []Request {
 	}
 	b.queue = live
 	if len(b.queue) == 0 {
-		return nil
+		return buf[:0] // nil when buf is nil — Flush's documented shape
 	}
-	sort.SliceStable(b.queue, func(i, j int) bool {
-		a, c := b.queue[i], b.queue[j]
-		if a.Deadline != c.Deadline {
-			return a.Deadline < c.Deadline
+	// Insertion sort on the EDF total order (deadline, arrival, ID).
+	// IDs are unique, so the order is total and the stability of the
+	// previous sort.SliceStable is preserved by construction.
+	for i := 1; i < len(b.queue); i++ {
+		r := b.queue[i]
+		j := i - 1
+		for j >= 0 && edfAfter(b.queue[j], r) {
+			b.queue[j+1] = b.queue[j]
+			j--
 		}
-		if a.Arrival != c.Arrival {
-			return a.Arrival < c.Arrival
-		}
-		return a.ID < c.ID
-	})
+		b.queue[j+1] = r
+	}
 	n := b.cfg.MaxBatch
 	if n > len(b.queue) {
 		n = len(b.queue)
 	}
-	batch := append([]Request(nil), b.queue[:n]...)
+	batch := append(buf[:0], b.queue[:n]...)
 	b.queue = append(b.queue[:0], b.queue[n:]...)
 	return batch
+}
+
+// edfAfter reports whether a sorts strictly after c in the
+// earliest-deadline-first total order.
+func edfAfter(a, c Request) bool {
+	if a.Deadline != c.Deadline {
+		return a.Deadline > c.Deadline
+	}
+	if a.Arrival != c.Arrival {
+		return a.Arrival > c.Arrival
+	}
+	return a.ID > c.ID
 }
 
 // Shed returns how many requests admission control turned away.

@@ -38,6 +38,22 @@ func (g LoadGen) Arrivals(startHour, hours float64) []Request {
 	if g.PeakRPS <= 0 || hours <= 0 {
 		return nil
 	}
+	// Thinning normalizes by the trace's peak busy fraction. A zero-value
+	// TidalTrace would make keep = 0/0 = NaN, and `rng.Float64() >= NaN`
+	// is always false — every envelope arrival silently kept at full peak
+	// rate. Derive the peak from the curve itself when it isn't set; a
+	// trace that never goes busy generates no load at all.
+	peak := g.Trace.PeakBusy
+	if peak <= 0 {
+		for _, busy := range g.Trace.HourlyProfile() {
+			if busy > peak {
+				peak = busy
+			}
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
 	rng := tensor.NewRNG(g.Seed)
 	horizon := hours * 3600
 	var out []Request
@@ -50,7 +66,7 @@ func (g LoadGen) Arrivals(startHour, hours float64) []Request {
 			return out
 		}
 		hour := math.Mod(startHour+t/3600, 24)
-		keep := g.Trace.BusyFraction(hour) / g.Trace.PeakBusy
+		keep := g.Trace.BusyFraction(hour) / peak
 		if rng.Float64() >= keep {
 			continue
 		}

@@ -184,12 +184,37 @@ type Stage struct {
 	OutElems int
 }
 
+// TrainingWeight is the stage's total training cost in the balancer's
+// currency — TrainingWeight summed over its layers. The planner's
+// pricer uses it to apportion step time across pipeline stages with
+// the same weight the partitioner balanced them by.
+func (s Stage) TrainingWeight() float64 {
+	return 3*s.FLOPs + paramFLOPWeight*float64(s.Params)
+}
+
 // Partition cuts the layer sequence into `stages` contiguous stages
 // minimizing the maximum per-stage weight (FLOPs + parameter
 // residency) — the pipeline's bottleneck, hence its throughput. Exact
 // via dynamic programming; layer counts are tens, so O(stages·L²) is
 // nothing.
 func Partition(costs []LayerCost, stages int) ([]Stage, error) {
+	return PartitionBy(costs, stages, LayerCost.weight)
+}
+
+// TrainingWeight prices one layer for a *training* pipeline stage: the
+// backward pass costs roughly two forward passes (gradients w.r.t.
+// activations and w.r.t. weights), so compute is ~3× forward FLOPs;
+// the DRAM-residency term for parameters is unchanged. This is the
+// weight the auto-parallelization planner partitions with.
+func TrainingWeight(c LayerCost) float64 {
+	return 3*c.FLOPs + paramFLOPWeight*float64(c.Params)
+}
+
+// PartitionBy is Partition under a caller-chosen per-layer weight —
+// the serving balancer uses the forward weight, the training planner
+// TrainingWeight. Ties between equal-bottleneck splits resolve to the
+// smallest cut index, deterministically.
+func PartitionBy(costs []LayerCost, stages int, weight func(LayerCost) float64) ([]Stage, error) {
 	l := len(costs)
 	if l == 0 {
 		return nil, fmt.Errorf("serve: model has no layers to partition")
@@ -200,7 +225,7 @@ func Partition(costs []LayerCost, stages int) ([]Stage, error) {
 	// prefix[i] = total weight of layers [0, i).
 	prefix := make([]float64, l+1)
 	for i, c := range costs {
-		prefix[i+1] = prefix[i] + c.weight()
+		prefix[i+1] = prefix[i] + weight(c)
 	}
 	seg := func(i, j int) float64 { return prefix[j] - prefix[i] } // layers [i, j)
 

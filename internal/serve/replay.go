@@ -93,6 +93,7 @@ func Replay(e *Engine, reqs []Request, cfg ReplayConfig) (*Result, error) {
 	// Functional-track batch buffers, reused across flushes.
 	var (
 		bx     *tensorBatch
+		bbuf   []Request // reused FlushInto destination
 		res    Result
 		free   = make([]float64, replicas) // when each replica admits again
 		now    float64
@@ -150,7 +151,8 @@ func Replay(e *Engine, reqs []Request, cfg ReplayConfig) (*Result, error) {
 		}
 		now = launch
 		canceledBefore := b.Canceled()
-		batch := b.Flush(now)
+		batch := b.FlushInto(bbuf, now)
+		bbuf = batch[:0]
 		cCanceled.Add(int64(b.Canceled() - canceledBefore))
 		if len(batch) == 0 {
 			continue // timer fired on a fully-canceled queue

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Link is a directed, fixed-capacity network resource.
@@ -58,6 +59,7 @@ type Flow struct {
 	rate      float64
 	started   bool
 	done      bool
+	frozen    bool
 }
 
 // latency returns the total path propagation delay.
@@ -69,6 +71,40 @@ func (f *Flow) latency() float64 {
 	return l
 }
 
+// linkState is per-link water-filling scratch, owned by a Simulator and
+// reused across fair-share rounds via generation stamping.
+type linkState struct {
+	gen   uint64
+	cap   float64
+	flows []*Flow
+}
+
+// Simulator runs flow simulations while reusing all per-event scratch
+// (link states, the active-flow list, the touched-link list) across
+// events and across Simulate calls. A planner sweeping thousands of
+// candidate placements holds one Simulator and pays zero steady-state
+// allocations per call; the package-level Simulate draws from a pool
+// and has the same property.
+//
+// A Simulator is not safe for concurrent use; use one per goroutine or
+// the package-level functions (which are).
+type Simulator struct {
+	states map[*Link]*linkState
+	links  []*Link // links touched in the current fair-share round
+	active []*Flow
+	gen    uint64
+}
+
+// NewSimulator returns an empty reusable simulator.
+func NewSimulator() *Simulator {
+	return &Simulator{states: make(map[*Link]*linkState)}
+}
+
+// maxRetainedLinks bounds the scratch map so a long-lived pooled
+// Simulator cannot pin link objects from arbitrarily many dead
+// topologies.
+const maxRetainedLinks = 4096
+
 // Simulate runs progressive filling over the given flows and returns
 // the makespan (time at which the last flow completes). Each flow's
 // FinishAt is populated. Flows with zero bytes finish at StartAt plus
@@ -78,7 +114,10 @@ func (f *Flow) latency() float64 {
 // allocation for the currently active flows and (2) advancing time to
 // the next flow start or finish. Complexity is O(E · (F·L)) for E
 // events, fine for the fleet sizes here (hundreds of flows).
-func Simulate(flows []*Flow) float64 {
+func (s *Simulator) Simulate(flows []*Flow) float64 {
+	if len(s.states) > maxRetainedLinks {
+		s.states = make(map[*Link]*linkState)
+	}
 	for _, f := range flows {
 		f.remaining = f.Bytes
 		f.started = false
@@ -92,7 +131,7 @@ func Simulate(flows []*Flow) float64 {
 	for pending > 0 {
 		// Activate flows whose start time has arrived.
 		nextStart := math.Inf(1)
-		var active []*Flow
+		active := s.active[:0]
 		for _, f := range flows {
 			if f.done {
 				continue
@@ -108,6 +147,7 @@ func Simulate(flows []*Flow) float64 {
 				active = append(active, f)
 			}
 		}
+		s.active = active
 
 		// Retire exhausted flows, zero-byte flows, and loopback flows
 		// (empty path: on-chip transfers are modeled separately)
@@ -136,7 +176,7 @@ func Simulate(flows []*Flow) float64 {
 			continue
 		}
 
-		fairShare(active)
+		s.fairShare(active)
 
 		// Time until the first active flow finishes at current rates.
 		dt := math.Inf(1)
@@ -167,40 +207,50 @@ func Simulate(flows []*Flow) float64 {
 // fairShare computes the max-min fair rate for each active flow via
 // water-filling: repeatedly find the most-constrained link (smallest
 // per-flow share), freeze its flows at that share, remove their demand,
-// and continue.
-func fairShare(active []*Flow) {
-	type linkState struct {
-		cap   float64
-		flows []*Flow
-	}
-	states := make(map[*Link]*linkState)
-	frozen := make(map[*Flow]bool, len(active))
+// and continue. Scratch is generation-stamped: a link's state is reset
+// lazily the first time the current round touches it, so nothing is
+// reallocated between events.
+func (s *Simulator) fairShare(active []*Flow) {
+	s.gen++
+	s.links = s.links[:0]
+	nFrozen := 0
 	for _, f := range active {
 		f.rate = 0
+		f.frozen = false
 		if len(f.Path) == 0 {
 			// Loopback: unconstrained; give it effectively infinite rate.
 			f.rate = math.Inf(1)
-			frozen[f] = true
+			f.frozen = true
+			nFrozen++
 			continue
 		}
 		for _, l := range f.Path {
-			st, ok := states[l]
-			if !ok {
-				st = &linkState{cap: l.Bandwidth}
-				states[l] = st
+			st := s.states[l]
+			if st == nil {
+				st = &linkState{}
+				s.states[l] = st
+			}
+			if st.gen != s.gen {
+				st.gen = s.gen
+				st.cap = l.Bandwidth
+				st.flows = st.flows[:0]
+				s.links = append(s.links, l)
 			}
 			st.flows = append(st.flows, f)
 		}
 	}
 
-	for len(frozen) < len(active) {
-		// Find bottleneck link: min cap/unfrozen-count.
+	for nFrozen < len(active) {
+		// Find bottleneck link: min cap/unfrozen-count. Iterating the
+		// touched-link slice (insertion order) rather than the map keeps
+		// tie-breaking deterministic on top of avoiding map-range cost.
 		var bottleneck *linkState
 		best := math.Inf(1)
-		for _, st := range states {
+		for _, l := range s.links {
+			st := s.states[l]
 			n := 0
 			for _, f := range st.flows {
-				if !frozen[f] {
+				if !f.frozen {
 					n++
 				}
 			}
@@ -219,26 +269,42 @@ func fairShare(active []*Flow) {
 		// Freeze that link's unfrozen flows at the bottleneck share and
 		// charge their rate against every link they cross.
 		for _, f := range bottleneck.flows {
-			if frozen[f] {
+			if f.frozen {
 				continue
 			}
 			f.rate = best
-			frozen[f] = true
+			f.frozen = true
+			nFrozen++
 			for _, l := range f.Path {
-				states[l].cap -= best
-				if states[l].cap < 0 {
-					states[l].cap = 0
+				st := s.states[l]
+				st.cap -= best
+				if st.cap < 0 {
+					st.cap = 0
 				}
 			}
 		}
 	}
 }
 
+// simPool backs the package-level Simulate so concurrent callers (the
+// collective layer prices rings from runtime workers) each borrow a
+// private Simulator without allocating one per call.
+var simPool = sync.Pool{New: func() any { return NewSimulator() }}
+
+// Simulate runs progressive filling over the given flows using a pooled
+// reusable Simulator. See Simulator.Simulate.
+func Simulate(flows []*Flow) float64 {
+	s := simPool.Get().(*Simulator)
+	ms := s.Simulate(flows)
+	simPool.Put(s)
+	return ms
+}
+
 // TransferTime returns the completion time of a single flow of the
 // given size over the path, with no competition.
 func TransferTime(bytes float64, path ...*Link) float64 {
-	f := &Flow{Name: "single", Path: path, Bytes: bytes}
-	return Simulate([]*Flow{f})
+	f := Flow{Name: "single", Path: path, Bytes: bytes}
+	return Simulate([]*Flow{&f})
 }
 
 // Makespan is a convenience that simulates the flows and returns both

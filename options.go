@@ -9,6 +9,7 @@ import (
 	"socflow/internal/core"
 	"socflow/internal/metrics"
 	"socflow/internal/parallel"
+	"socflow/internal/plan"
 )
 
 // Option tunes how a run executes without changing what a fault-free
@@ -17,6 +18,8 @@ import (
 // retry budget, auto-checkpointing). Absent failures, options never
 // affect EpochAccuracies or SimSeconds — see DESIGN.md's "host
 // parallelism vs. simulated concurrency" and §12 "Recovery model".
+// The one exception is WithPlan, which by design substitutes the
+// run's parallelization and therefore its results — see its comment.
 type Option func(*runOptions)
 
 type runOptions struct {
@@ -28,6 +31,9 @@ type runOptions struct {
 	// Control plane (see DESIGN.md §13).
 	tenant   string
 	priority int
+
+	// Auto-parallelization (see DESIGN.md §16).
+	plan *ParallelPlan
 
 	// Elastic recovery (see DESIGN.md §12).
 	hbInterval, hbTimeout time.Duration
@@ -133,6 +139,27 @@ func WithTenant(name string) Option {
 // parks, and resumes from that checkpoint when capacity returns.
 func WithPriority(p int) Option {
 	return func(o *runOptions) { o.priority = p }
+}
+
+// ParallelPlan is a searched auto-parallelization plan: group count,
+// pipeline stages, per-stage placement, and the predicted epoch
+// makespan. Obtain one from PlanParallelism (or build one by hand) and
+// execute it with WithPlan.
+type ParallelPlan = plan.Plan
+
+// WithPlan executes the job under the given parallelization plan,
+// overriding Config.Parallelism and (for data plans) Config.Groups.
+// This is the escape hatch for searching once and reusing the plan
+// across submissions, or for running a hand-built plan the planner
+// would not choose.
+//
+// Unlike every other option, WithPlan changes what the run computes:
+// the plan decides pipeline-vs-data execution and the group count, so
+// EpochAccuracies and SimSeconds follow the plan, not the config. It
+// still preserves the determinism contract — a given (config, plan)
+// pair is bit-reproducible at every parallelism level.
+func WithPlan(p *ParallelPlan) Option {
+	return func(o *runOptions) { o.plan = p }
 }
 
 // gatherOptions applies opts and validates the result, so an invalid

@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench_compare.sh: allocation- and wall-clock-regression gate.
 #
-# Runs the two hot-path benchmarks with -benchmem and compares them
+# Runs the hot-path benchmarks with -benchmem and compares them
 # against the committed baseline (scripts/bench_baseline.txt, columns:
 # name allocs/op ns/op). The gate fails when a baselined row's
 # allocs/op regresses by more than 10%, or when a parallelism=1 row's
@@ -19,8 +19,8 @@ OUT_JSON=${BENCH_OUT:-BENCH_pr7.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch' \
-    -benchmem -benchtime 3x . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkConv2DForward|BenchmarkGroupEpoch|BenchmarkSimnetSimulate' \
+    -benchmem -benchtime 3x . ./internal/simnet | tee "$RAW"
 
 # Compare against the baseline and build the JSON report in one awk
 # pass over both files.

@@ -11,7 +11,7 @@ go build ./...
 go test ./...
 go test -race ./ ./internal/parallel ./internal/tensor ./internal/nn \
     ./internal/core ./internal/runtime ./internal/transport ./internal/metrics \
-    ./internal/serve ./internal/server
+    ./internal/serve ./internal/server ./internal/plan
 go test -race -run 'Fault|Crash|Degrade|Straggle|LinkDrop|Deadline|Close' \
     ./internal/runtime ./internal/transport
 # The metrics registry is written to from every worker goroutine at

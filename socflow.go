@@ -36,6 +36,7 @@ import (
 	"socflow/internal/dataset"
 	"socflow/internal/metrics"
 	"socflow/internal/nn"
+	"socflow/internal/plan"
 	"socflow/internal/quant"
 )
 
@@ -78,6 +79,22 @@ type Config struct {
 	// Mixed selects SoCFlow's processor mode: "auto" (default),
 	// "fp32", "int8", "half".
 	Mixed string
+	// Parallelism selects how the batch is split across a logical
+	// group's SoCs (strategy "socflow" only):
+	//
+	//   - "" or "data": data-parallel SSGD (the paper's protocol);
+	//   - "auto": the auto-parallelization planner (internal/plan)
+	//     searches group count × pipeline depth × placement over the
+	//     simnet cost model and runs whichever hybrid prices fastest —
+	//     Groups caps the group count it may spend;
+	//   - "pipeline": the planner restricted to pipeline-parallel
+	//     candidates (GPipe-style micro-batching, stage parameters
+	//     resident on their SoC, no per-iteration gradient traffic).
+	//
+	// Like every config field — and unlike options — this changes what
+	// the run computes: pipeline plans see micro-batch batch-norm
+	// statistics and per-epoch (not per-iteration) group averaging.
+	Parallelism string
 	// Int8Kernels selects the NPU replica's GEMM datapath: "" (default)
 	// simulates integer execution with fake-quantized float32 GEMMs;
 	// "exact" runs true int8×int8→int32 kernels with the precise
@@ -224,7 +241,81 @@ func buildJob(cfg Config) (*core.Job, *cluster.Cluster, error) {
 	return job, clu, nil
 }
 
-func buildStrategy(ctx context.Context, cfg Config) (core.Strategy, error) {
+// PlanParallelism runs the auto-parallelization planner for cfg and
+// returns the winning plan: the enumeration of group count × pipeline
+// depth × placement priced on the simnet cost model (see
+// Config.Parallelism). The plan can be inspected (String, EpochSeconds
+// vs DataEpochSeconds) and executed via WithPlan. Deterministic: equal
+// configs return the identical plan.
+func PlanParallelism(cfg Config) (*ParallelPlan, error) {
+	cfg = cfg.withDefaults()
+	job, clu, err := buildJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := plan.Options{
+		Spec:        job.Spec,
+		Cluster:     clu,
+		GlobalBatch: cfg.PaperBatch,
+		Samples:     job.PaperSamples,
+	}
+	if cfg.Groups > 0 {
+		opts.MaxGroups = cfg.Groups
+	}
+	if cfg.Parallelism == "pipeline" {
+		opts.Only = plan.ModePipeline
+	}
+	p, err := plan.Search(opts)
+	if err != nil {
+		return nil, fmt.Errorf("socflow: planner: %w", err)
+	}
+	return p, nil
+}
+
+// strategyFromPlan maps a parallelization plan onto an executor: the
+// Pipeline strategy for pipeline plans, the paper's grouped protocol
+// at the plan's group count for data plans.
+func strategyFromPlan(cfg Config, p *ParallelPlan) (core.Strategy, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	if p.NumSoCs != cfg.NumSoCs {
+		return nil, fmt.Errorf("%w: plan places %d SoCs, cluster has %d", ErrBadPlan, p.NumSoCs, cfg.NumSoCs)
+	}
+	if p.Mode == plan.ModePipeline {
+		return &core.Pipeline{Plan: p}, nil
+	}
+	mode, err := mixedMode(cfg.Mixed)
+	if err != nil {
+		return nil, err
+	}
+	mul, err := quant.MultiplierByName(cfg.Int8Kernels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (have \"\", exact, mitchell)", ErrUnknownInt8Kernels, cfg.Int8Kernels)
+	}
+	return &core.SoCFlow{NumGroups: p.Groups(), Mixed: mode, Int8Mul: mul}, nil
+}
+
+func buildStrategy(ctx context.Context, cfg Config, o runOptions) (core.Strategy, error) {
+	if o.plan != nil {
+		return strategyFromPlan(cfg, o.plan)
+	}
+	switch cfg.Parallelism {
+	case "", "data":
+		// The paper's data-parallel protocol — the strategy switch below.
+	case "auto", "pipeline":
+		if cfg.Strategy != "socflow" {
+			return nil, fmt.Errorf("%w: Parallelism %q requires strategy \"socflow\", got %q",
+				ErrUnknownParallelism, cfg.Parallelism, cfg.Strategy)
+		}
+		p, err := PlanParallelism(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return strategyFromPlan(cfg, p)
+	default:
+		return nil, fmt.Errorf("%w: %q (have \"\", data, auto, pipeline)", ErrUnknownParallelism, cfg.Parallelism)
+	}
 	switch cfg.Strategy {
 	case "socflow":
 		mode, err := mixedMode(cfg.Mixed)
