@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke serve-smoke bench-colocation bench-autopar ci
+.PHONY: all build vet test race chaos bench bench-compare bench-report bench-elastic server-smoke serve-smoke bench-colocation bench-autopar bench-replan ci
 
 all: ci
 
@@ -74,6 +74,15 @@ bench-colocation:
 bench-autopar:
 	$(GO) run ./cmd/socflow-bench --exp autopar --samples 480 --epochs 6 \
 		--metrics-out BENCH_pr9.json
+
+# Elastic re-planning experiment: the pipeline track under a permanent
+# stage crash and a tidal shrink, with planner-driven recovery. The
+# harness asserts the fault-free elastic run bit-identical to the
+# plain pipeline and every adopted re-plan's predicted epoch seconds
+# equal to the executed ones; emits BENCH_pr10.json.
+bench-replan:
+	$(GO) run ./cmd/socflow-bench --exp replan --samples 300 --epochs 5 \
+		--metrics-out BENCH_pr10.json
 
 bench-report:
 	$(GO) run ./cmd/socflow-bench --exp scalability --samples 480 --epochs 6 \

@@ -134,6 +134,9 @@ func catalog() []experiment {
 		{"autopar", "extension: auto-parallelization planner vs data parallelism (ResNet-34, 8-32 SoCs)", func(o exp.Options, _ bool) ([]*exp.Table, error) {
 			return one(exp.ExpAutopar(o))
 		}},
+		{"replan", "extension: elastic pipeline re-planning under stage crashes and tidal shrinks (fault-free bit-identity, predicted==executed)", func(o exp.Options, _ bool) ([]*exp.Table, error) {
+			return one(exp.ExpReplan(o))
+		}},
 	}
 }
 

@@ -98,12 +98,16 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful teardown: stop accepting, then cancel every job.
+	// Graceful teardown: stop accepting, park running preemptible jobs
+	// through the checkpoint path so their progress survives a restart,
+	// and cancel the rest.
 	log.Print("socflow-server: shutting down")
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("socflow-server: shutdown: %v", err)
 	}
-	srv.Close()
+	if parked := srv.Drain(shCtx); parked > 0 {
+		log.Printf("socflow-server: parked %d preemptible job(s) for the next generation", parked)
+	}
 }

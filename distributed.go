@@ -8,6 +8,7 @@ import (
 	"socflow/internal/dataset"
 	"socflow/internal/metrics"
 	"socflow/internal/nn"
+	autoplan "socflow/internal/plan"
 	"socflow/internal/runtime"
 	"socflow/internal/server"
 	"socflow/internal/transport"
@@ -66,6 +67,47 @@ type DistributedConfig struct {
 	// cluster.TidalTrace.PreemptionEvents to replay the co-location
 	// trace.
 	PreemptWindows []PreemptWindow
+	// Parallelism selects how the concurrent engine splits the job:
+	//
+	//   - "" or "data": the paper's data-parallel SSGD protocol — the
+	//     default track above;
+	//   - "pipeline": the auto-parallelization planner searches a
+	//     pipeline-parallel plan (plan.Search restricted to
+	//     ModePipeline) and the mesh executes it — stage parameters
+	//     resident on their SoC, GPipe micro-batching, per-epoch
+	//     cross-group aggregation;
+	//   - "auto": the planner prices pipeline against data parallelism
+	//     and the job runs whichever wins (a data-mode winner falls
+	//     back to the default track with the plan's group count).
+	//
+	// Groups caps the planner's group count. With WithRecovery,
+	// WithHeartbeat, or any PreemptWindows/ResizeSchedule entry the
+	// pipeline track runs elastically: heartbeat death detection,
+	// barrier-delimited epoch rounds with in-memory start-of-epoch
+	// snapshots, and planner-driven re-planning onto the surviving
+	// fleet (DESIGN.md §17). The pipeline track recovers from those
+	// snapshots, not the checkpoint store, and DegradeOnFault is
+	// data-parallel-only.
+	Parallelism string
+	// ResizeSchedule scripts tidal capacity targets for the elastic
+	// pipeline track: at the boundary before epoch Epoch the usable
+	// fleet is clamped to SoCs total (shrinks reclaim the
+	// highest-numbered SoCs, grows hand them back), and the manager
+	// re-plans onto what is left. Each applied target is also reported
+	// through the job's Controller.Resize so the control plane sees
+	// the new footprint. Epoch must be >= 1 — there is no boundary
+	// before epoch 0. Setting any entry enables the elastic track,
+	// like PreemptWindows.
+	ResizeSchedule []ResizeEvent
+}
+
+// ResizeEvent is one scripted tidal capacity target for
+// DistributedConfig.ResizeSchedule.
+type ResizeEvent struct {
+	// Epoch is the epoch boundary the target applies at (>= 1).
+	Epoch int
+	// SoCs is the total usable fleet size from that boundary on.
+	SoCs int
 }
 
 // PreemptWindow is one scripted preemption episode for
@@ -107,7 +149,19 @@ type RecoveryReport struct {
 	// StateTransferBytes is the serialized state shipped to rejoining
 	// nodes.
 	StateTransferBytes int64
+	// Replans lists the elastic pipeline track's replan-vs-degrade
+	// decisions in adoption order, each with old→new plan strings and
+	// predicted vs executed epoch seconds (empty on the data-parallel
+	// track and when membership never changed).
+	Replans []ReplanEpisode
 }
+
+// ReplanEpisode is one recorded membership-change decision of the
+// elastic pipeline track: what triggered it (crash, resize, rejoin),
+// whether the manager adopted a re-plan or degraded in place, the old
+// and new plan strings, and the adopted plan's predicted vs executed
+// epoch seconds.
+type ReplanEpisode = runtime.ReplanEpisode
 
 func (c DistributedConfig) withDefaults() DistributedConfig {
 	c.JobSpec = c.JobSpec.WithDefaults(defaultDistSpec)
@@ -148,6 +202,16 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 	if _, err := dataset.GetProfile(cfg.Dataset); err != nil {
 		return server.JobSpec{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownDataset, cfg.Dataset, Datasets())
 	}
+	switch cfg.Parallelism {
+	case "", "data", "pipeline", "auto":
+	default:
+		return server.JobSpec{}, fmt.Errorf("%w: %q (have \"\", data, pipeline, auto)", ErrUnknownParallelism, cfg.Parallelism)
+	}
+	for _, ev := range cfg.ResizeSchedule {
+		if ev.Epoch < 1 || ev.SoCs < 1 {
+			return server.JobSpec{}, fmt.Errorf("socflow: ResizeSchedule entry {Epoch: %d, SoCs: %d}: Epoch must be >= 1 and SoCs positive", ev.Epoch, ev.SoCs)
+		}
+	}
 
 	userReg := o.registry()
 	o.subscribe(userReg)
@@ -176,6 +240,23 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 		pool := prof.Generate(dataset.GenOptions{Samples: cfg.TrainSamples + cfg.ValSamples, Seed: cfg.Seed})
 		train, val := pool.Split(float64(cfg.TrainSamples) / float64(pool.Len()))
 
+		var pplan *autoplan.Plan
+		var popts autoplan.Options
+		if cfg.Parallelism == "pipeline" || cfg.Parallelism == "auto" {
+			popts = pipelinePlanOptions(cfg, spec, train.Len())
+			p, err := autoplan.Search(popts)
+			if err != nil {
+				return nil, fmt.Errorf("socflow: planner: %w", err)
+			}
+			if p.Mode == autoplan.ModePipeline {
+				pplan = p
+			} else {
+				// "auto" priced data parallelism faster: fall through
+				// to the default track with the plan's group count.
+				cfg.Groups = p.Groups()
+			}
+		}
+
 		mapping := core.IntegrityGreedyMap(cfg.NumSoCs, cfg.Groups, 5)
 
 		var mesh transport.Mesh
@@ -189,6 +270,10 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 			defer tcp.Close()
 			tcp.SetMetrics(reg)
 			mesh = tcp
+		}
+
+		if pplan != nil {
+			return runPipelineTrack(ctx, cfg, o, mesh, spec, train, val, pplan, popts, reg, userReg, ctl)
 		}
 
 		if o.logger != nil {
@@ -211,27 +296,7 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 			dcfg.CheckpointEvery = o.checkpointEvery
 		}
 		if o.recovery || len(cfg.PreemptWindows) > 0 {
-			rc := &runtime.RecoveryConfig{
-				HeartbeatInterval: o.hbInterval,
-				HeartbeatTimeout:  o.hbTimeout,
-				MaxRetries:        o.maxRetries,
-				RetryBackoff:      o.retryBackoff,
-			}
-			if dcfg.Faults == nil {
-				dcfg.Faults = &transport.FaultPlan{}
-			}
-			for _, w := range cfg.PreemptWindows {
-				ev := transport.FaultEvent{Kind: transport.FaultCrash, Node: w.SoC, Epoch: w.Epoch}
-				if w.Return >= 0 {
-					ev.UntilEpoch = w.Return
-					rc.Rejoins = append(rc.Rejoins, runtime.Rejoin{Node: w.SoC, Epoch: w.Return})
-				}
-				dcfg.Faults.Events = append(dcfg.Faults.Events, ev)
-			}
-			if len(dcfg.Faults.Events) == 0 {
-				dcfg.Faults = nil
-			}
-			dcfg.Recovery = rc
+			dcfg.Faults, dcfg.Recovery = recoveryPlan(cfg, o, dcfg.Faults)
 		}
 		finish := core.BeginKernelHarvest(userReg)
 		span := reg.BeginSpan("run", "facade", 0)
@@ -241,23 +306,7 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 		if err != nil {
 			return nil, err
 		}
-		rep := &DistributedReport{EpochAccuracies: res.EpochAccuracies, Topology: mapping.Groups}
-		for _, a := range res.EpochAccuracies {
-			if a > rep.BestAccuracy {
-				rep.BestAccuracy = a
-			}
-		}
-		if s := res.Recovery; s != nil {
-			rep.Recovery = &RecoveryReport{
-				Detections:         s.Detections,
-				Rejoins:            s.Rejoins,
-				Retries:            s.Retries,
-				MembershipEpoch:    s.MembershipEpoch,
-				StateTransferBytes: s.StateTransferBytes,
-			}
-		}
-		rep.Metrics = userReg.Snapshot()
-		return rep, nil
+		return distributedReport(res, mapping.Groups, userReg), nil
 	}
 
 	return server.JobSpec{
@@ -268,4 +317,121 @@ func buildDistributedSpec(submitCtx context.Context, cfg DistributedConfig, o ru
 		Run:        run,
 		OnTerminal: func() { h.finishEvents() },
 	}, nil
+}
+
+// pipelinePlanOptions derives the auto-parallelization search options
+// the distributed pipeline track plans — and, under recovery,
+// re-plans — with. Kept as its own function so tests and the bench
+// harness can reproduce the exact plan a run will execute.
+func pipelinePlanOptions(cfg DistributedConfig, spec *nn.Spec, samples int) autoplan.Options {
+	opts := autoplan.Options{
+		Spec:        spec,
+		NumSoCs:     cfg.NumSoCs,
+		GlobalBatch: cfg.GlobalBatch,
+		Samples:     samples,
+	}
+	if cfg.Groups > 0 {
+		opts.MaxGroups = cfg.Groups
+	}
+	if cfg.Parallelism == "pipeline" {
+		opts.Only = autoplan.ModePipeline
+	}
+	return opts
+}
+
+// recoveryPlan maps the facade's recovery options and scripted
+// preemption windows onto the runtime's fault plan and recovery
+// config. Shared by the data-parallel and pipeline tracks.
+func recoveryPlan(cfg DistributedConfig, o runOptions, faults *transport.FaultPlan) (*transport.FaultPlan, *runtime.RecoveryConfig) {
+	rc := &runtime.RecoveryConfig{
+		HeartbeatInterval: o.hbInterval,
+		HeartbeatTimeout:  o.hbTimeout,
+		MaxRetries:        o.maxRetries,
+		RetryBackoff:      o.retryBackoff,
+	}
+	if faults == nil {
+		faults = &transport.FaultPlan{}
+	}
+	for _, w := range cfg.PreemptWindows {
+		ev := transport.FaultEvent{Kind: transport.FaultCrash, Node: w.SoC, Epoch: w.Epoch}
+		if w.Return >= 0 {
+			ev.UntilEpoch = w.Return
+			rc.Rejoins = append(rc.Rejoins, runtime.Rejoin{Node: w.SoC, Epoch: w.Return})
+		}
+		faults.Events = append(faults.Events, ev)
+	}
+	if len(faults.Events) == 0 {
+		faults = nil
+	}
+	return faults, rc
+}
+
+// runPipelineTrack executes a searched pipeline plan over the mesh —
+// elastically when recovery is enabled — and shapes the result into
+// the facade report. The scripted ResizeSchedule is driven from the
+// leader's epoch-end hook: each target is pushed to the elastic
+// manager and mirrored to the control plane via Controller.Resize so
+// the scheduler's view of the job footprint tracks the tide.
+func runPipelineTrack(ctx context.Context, cfg DistributedConfig, o runOptions, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, p *autoplan.Plan, popts autoplan.Options, reg *metrics.Registry, userReg *metrics.Registry, ctl *server.Controller) (*DistributedReport, error) {
+	if o.logger != nil {
+		o.logger.Printf("distributed pipeline run: %s on %s, plan %s", cfg.Model, cfg.Dataset, p.String())
+	}
+	pcfg := runtime.PipelineConfig{
+		JobSpec:  cfg.JobSpec,
+		Plan:     p,
+		Metrics:  reg,
+		EpochEnd: func(epoch int, acc float64) { ctl.ObserveEpoch(epoch) },
+	}
+	if cfg.InjectCrashes > 0 {
+		pcfg.Faults = transport.RandomCrashPlan(cfg.Seed+7, cfg.NumSoCs, cfg.Epochs, cfg.InjectCrashes)
+	}
+	if o.recovery || len(cfg.PreemptWindows) > 0 || len(cfg.ResizeSchedule) > 0 {
+		pcfg.Faults, pcfg.Recovery = recoveryPlan(cfg, o, pcfg.Faults)
+		pcfg.Planner = &popts
+		if len(cfg.ResizeSchedule) > 0 {
+			resizes := make(chan int, len(cfg.ResizeSchedule))
+			pcfg.Resizes = resizes
+			schedule := append([]ResizeEvent(nil), cfg.ResizeSchedule...)
+			pcfg.EpochEnd = func(epoch int, acc float64) {
+				ctl.ObserveEpoch(epoch)
+				for _, ev := range schedule {
+					if ev.Epoch == epoch+1 {
+						resizes <- ev.SoCs
+						ctl.Resize(ev.SoCs)
+					}
+				}
+			}
+		}
+	}
+	finish := core.BeginKernelHarvest(userReg)
+	span := reg.BeginSpan("run", "facade", 0)
+	res, err := runtime.RunPipeline(ctx, mesh, spec, train, val, pcfg)
+	span.End()
+	finish()
+	if err != nil {
+		return nil, err
+	}
+	return distributedReport(res, p.Placement, userReg), nil
+}
+
+// distributedReport shapes a runtime result into the facade report.
+func distributedReport(res *runtime.DistResult, topology [][]int, userReg *metrics.Registry) *DistributedReport {
+	rep := &DistributedReport{EpochAccuracies: res.EpochAccuracies, Topology: topology}
+	for _, a := range res.EpochAccuracies {
+		if a > rep.BestAccuracy {
+			rep.BestAccuracy = a
+		}
+	}
+	if s := res.Recovery; s != nil {
+		rep.Recovery = &RecoveryReport{
+			Detections:         s.Detections,
+			Rejoins:            s.Rejoins,
+			Retries:            s.Retries,
+			MembershipEpoch:    s.MembershipEpoch,
+			StateTransferBytes: s.StateTransferBytes,
+			Replans:            res.Replans,
+		}
+	}
+	rep.Metrics = userReg.Snapshot()
+	return rep
 }

@@ -23,6 +23,13 @@ const (
 	// KindRetry fires when the recovery manager re-runs a failed epoch
 	// from the last good state (Iter carries the attempt number).
 	KindRetry = "retry"
+	// KindReplan fires when the elastic pipeline adopts a new plan (or
+	// explicitly decides to degrade in place) after a membership change.
+	// Detail carries "trigger decision: old -> new".
+	KindReplan = "replan"
+	// KindResize fires when a tidal capacity target reclaims or returns
+	// SoCs on the elastic pipeline track (Node is the SoC).
+	KindResize = "resize"
 )
 
 // Event is one notification on the registry's event stream. Not every

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"socflow/internal/cluster"
 	"socflow/internal/nn"
@@ -27,6 +28,13 @@ type Options struct {
 	Cluster *cluster.Cluster
 	// NumSoCs is the cluster size. Required when Cluster is nil.
 	NumSoCs int
+	// Nodes restricts the search to a subset of the cluster's SoCs —
+	// the surviving fleet after a crash or tidal reclaim. Placements
+	// only use these IDs; the returned Plan still carries the full
+	// NumSoCs so it remains executable on the original mesh. Nil means
+	// all of [0, NumSoCs). IDs must be unique and in range; order is
+	// normalized (sorted ascending) so equal sets search identically.
+	Nodes []int
 	// MaxGroups caps the data-parallel group count — the statistical-
 	// efficiency (convergence) budget the caller is willing to spend on
 	// more groups, in the spirit of core.SelectGroupCount. 0 means no
@@ -103,6 +111,10 @@ func Search(o Options) (*Plan, error) {
 	if o.Only != "" && o.Only != ModeData && o.Only != ModePipeline {
 		return nil, fmt.Errorf("plan: Only %q, want %q or %q", o.Only, ModeData, ModePipeline)
 	}
+	nodes, err := normalizeNodes(o.Nodes, o.NumSoCs)
+	if err != nil {
+		return nil, err
+	}
 	clu := o.Cluster
 	if clu == nil {
 		clu = cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
@@ -117,7 +129,7 @@ func Search(o Options) (*Plan, error) {
 
 	pr := NewPricer(clu, o.Spec)
 	pr.ActScale = o.ActivationScale
-	m := o.NumSoCs
+	m := len(nodes)
 
 	var (
 		best      *Plan
@@ -149,13 +161,13 @@ func Search(o Options) (*Plan, error) {
 			continue
 		}
 		k := m / n
-		placements := [][][]int{contiguousPlacement(m, n)}
+		placements := [][][]int{contiguousPlacement(nodes, n)}
 		if n > 1 && k > 1 {
-			placements = append(placements, stridedPlacement(m, n))
+			placements = append(placements, stridedPlacement(nodes, n))
 		}
 		for _, placement := range placements {
 			consider(&Plan{
-				NumSoCs:   m,
+				NumSoCs:   o.NumSoCs,
 				Mode:      ModeData,
 				Placement: placement,
 				Batch:     o.GlobalBatch,
@@ -179,7 +191,7 @@ func Search(o Options) (*Plan, error) {
 					break
 				}
 				consider(&Plan{
-					NumSoCs:      m,
+					NumSoCs:      o.NumSoCs,
 					Mode:         ModePipeline,
 					Placement:    placement,
 					Stages:       stages,
@@ -197,30 +209,74 @@ func Search(o Options) (*Plan, error) {
 	return best, nil
 }
 
-// contiguousPlacement packs group g onto SoCs [g·k, (g+1)·k) — the
-// integrity-greedy shape: minimal PCB crossings per group.
-func contiguousPlacement(m, n int) [][]int {
-	k := m / n
+// normalizeNodes validates a Nodes subset against the cluster size and
+// returns it sorted ascending (a copy — the caller's slice is never
+// mutated). Nil means the whole cluster.
+func normalizeNodes(in []int, numSoCs int) ([]int, error) {
+	if in == nil {
+		nodes := make([]int, numSoCs)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		return nodes, nil
+	}
+	if len(in) == 0 {
+		return nil, fmt.Errorf("plan: Nodes is empty (nil means all %d SoCs)", numSoCs)
+	}
+	nodes := append([]int(nil), in...)
+	sort.Ints(nodes)
+	for i, soc := range nodes {
+		if soc < 0 || soc >= numSoCs {
+			return nil, fmt.Errorf("plan: Nodes contains SoC %d outside the %d-SoC cluster", soc, numSoCs)
+		}
+		if i > 0 && nodes[i-1] == soc {
+			return nil, fmt.Errorf("plan: Nodes lists SoC %d twice", soc)
+		}
+	}
+	return nodes, nil
+}
+
+// PricerFor builds the exact Pricer Search would use for these
+// Options — same cluster fallback, same activation scale — so a
+// re-pricing of an executed plan (the PR 9 predicted==executed
+// invariant) and the search share one formula.
+func PricerFor(o Options) *Pricer {
+	o = o.withDefaults()
+	clu := o.Cluster
+	if clu == nil {
+		clu = cluster.New(cluster.Config{NumSoCs: o.NumSoCs})
+	}
+	pr := NewPricer(clu, o.Spec)
+	pr.ActScale = o.ActivationScale
+	return pr
+}
+
+// contiguousPlacement packs group g onto the sorted node set's slots
+// [g·k, (g+1)·k) — the integrity-greedy shape: minimal PCB crossings
+// per group.
+func contiguousPlacement(nodes []int, n int) [][]int {
+	k := len(nodes) / n
 	placement := make([][]int, n)
 	for g := 0; g < n; g++ {
 		members := make([]int, k)
 		for i := range members {
-			members[i] = g*k + i
+			members[i] = nodes[g*k+i]
 		}
 		placement[g] = members
 	}
 	return placement
 }
 
-// stridedPlacement round-robins SoCs across groups: member i of group
-// g is SoC g + i·n, so every group spans as many PCBs as possible.
-func stridedPlacement(m, n int) [][]int {
-	k := m / n
+// stridedPlacement round-robins the node set across groups: member i
+// of group g is the (g + i·n)-th surviving SoC, so every group spans
+// as many PCBs as possible.
+func stridedPlacement(nodes []int, n int) [][]int {
+	k := len(nodes) / n
 	placement := make([][]int, n)
 	for g := 0; g < n; g++ {
 		members := make([]int, k)
 		for i := range members {
-			members[i] = g + i*n
+			members[i] = nodes[g+i*n]
 		}
 		placement[g] = members
 	}

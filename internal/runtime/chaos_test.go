@@ -103,3 +103,50 @@ func TestChaosElasticSchedules(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPipelineSchedules replays seeded random fault schedules
+// against the elastic pipeline track with the re-planner engaged. The
+// same two outcomes are legal: the run converges across every epoch
+// (re-planning or degrading around the faults), or it tears down
+// cleanly within the deadline with stage-worker-named errors.
+func TestChaosPipelineSchedules(t *testing.T) {
+	const socs, epochs = 6, 4
+	spec, train, val := elasticFixture(t, 240)
+	p, popts := elasticPipePlan(t, socs, 2, 16, train.Len())
+	for _, seed := range []uint64{1, 2, 3, 5, 8, 13} {
+		r := tensor.NewRNG(seed * 1009)
+		plan, rejoins := chaosSchedule(r, socs, epochs)
+		rc := fastRecovery()
+		rc.Rejoins = rejoins
+		cfg := PipelineConfig{
+			JobSpec:  core.JobSpec{Epochs: epochs, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+			Plan:     p,
+			Faults:   plan,
+			Recovery: rc,
+			Planner:  popts,
+		}
+		type outcome struct {
+			res *DistResult
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := RunPipeline(context.Background(), transport.NewChanMesh(socs), spec, train, val, cfg)
+			done <- outcome{res, err}
+		}()
+		select {
+		case o := <-done:
+			if o.err == nil {
+				if len(o.res.EpochAccuracies) != epochs {
+					t.Fatalf("seed %d: clean run trained %d/%d epochs (plan %+v)",
+						seed, len(o.res.EpochAccuracies), epochs, plan.Events)
+				}
+			} else if !strings.Contains(o.err.Error(), "worker ") {
+				t.Fatalf("seed %d: teardown error does not name workers: %v (plan %+v)",
+					seed, o.err, plan.Events)
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatalf("seed %d: elastic pipeline run hung (plan %+v, rejoins %+v)", seed, plan.Events, rejoins)
+		}
+	}
+}

@@ -33,6 +33,30 @@ type PipelineConfig struct {
 	// Metrics, when non-nil, wraps the mesh with byte/message counters
 	// and receives per-epoch accuracy through ObserveEpoch.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, is applied to the mesh via
+	// transport.WithFaults: stage workers tick the shared fault clock
+	// every iteration and at each epoch boundary, so scripted crashes,
+	// link drops, and stragglers fire at their (epoch, iteration)
+	// trigger points. Without Recovery a crash is fatal — the failing
+	// stage tears the mesh down exactly like the data-parallel track.
+	Faults *transport.FaultPlan
+	// Recovery, when non-nil, switches the run onto the elastic
+	// pipeline track: the mesh is stacked with transport.WithHeartbeat,
+	// a manager supervises stage workers in barrier-delimited rounds
+	// with start-of-epoch snapshots, and detected deaths or tidal
+	// resizes trigger a re-plan-vs-degrade decision at the next round
+	// boundary (see pipeline_elastic.go).
+	Recovery *RecoveryConfig
+	// Planner, when non-nil on the elastic track, re-invokes
+	// plan.Search on membership changes restricted to the surviving
+	// SoC set (plan.Options.Nodes) and adopts the re-plan when it
+	// prices below degrade-in-place. Nil means degrade-only recovery.
+	Planner *autoplan.Options
+	// Resizes, when non-nil on the elastic track, delivers tidal
+	// capacity targets (total usable SoCs) from the control plane's
+	// Resize path; shrinks reclaim the highest-numbered usable SoCs
+	// and grows hand them back.
+	Resizes <-chan int
 }
 
 // RunPipeline executes a pipeline plan for real: one goroutine per
@@ -51,7 +75,8 @@ type PipelineConfig struct {
 //
 // Failure domain matches RunDistributed: the first failing worker
 // closes the mesh so every peer unwinds, and cancelling ctx does the
-// same.
+// same. With cfg.Recovery set the run instead detects deaths by
+// heartbeat and recovers (see pipeline_elastic.go).
 func RunPipeline(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train, val *dataset.Dataset, cfg PipelineConfig) (*DistResult, error) {
 	p := cfg.Plan
 	if p == nil {
@@ -69,8 +94,16 @@ func RunPipeline(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train,
 	if cfg.Epochs <= 0 || cfg.GlobalBatch <= 0 {
 		return nil, fmt.Errorf("runtime: epochs=%d batch=%d", cfg.Epochs, cfg.GlobalBatch)
 	}
+	if cfg.Recovery != nil {
+		return runElasticPipeline(ctx, mesh, spec, train, val, cfg)
+	}
+	// Metering sits inside the fault decorator, matching the
+	// data-parallel track: injected failures move no bytes.
 	if cfg.Metrics != nil {
 		mesh = transport.WithMetrics(mesh, cfg.Metrics)
+	}
+	if cfg.Faults != nil {
+		mesh = transport.WithFaults(mesh, cfg.Faults)
 	}
 
 	res := &DistResult{EpochAccuracies: make([]float64, cfg.Epochs)}
@@ -102,8 +135,14 @@ func RunPipeline(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train,
 			go func(g, i int) {
 				defer wg.Done()
 				id := p.Placement[g][i]
-				if err := runPipelineStage(mesh.Node(id), spec, train, val, cfg, g, i, res, &resMu); err != nil {
-					fail(id, err)
+				w := newPipeWorker(mesh.Node(id), spec, train, val, &cfg, res, &resMu)
+				w.configure(p, g, i)
+				for epoch := 0; epoch < cfg.Epochs; epoch++ {
+					w.alignData(epoch)
+					if err := w.runEpoch(epoch); err != nil {
+						fail(id, err)
+						return
+					}
 				}
 			}(g, i)
 		}
@@ -118,40 +157,161 @@ func RunPipeline(ctx context.Context, mesh transport.Mesh, spec *nn.Spec, train,
 	return res, nil
 }
 
-// runPipelineStage is one placed stage's whole life: the micro-batch
-// relay with its neighbours every iteration, the optimizer step on its
-// own parameters, and the per-epoch cross-group ring plus leader
-// gather.
-func runPipelineStage(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg PipelineConfig,
-	g, i int, res *DistResult, resMu *sync.Mutex) error {
-
-	p := cfg.Plan
-	n := p.Groups()
-	d := p.Depth()
-	st := p.Stages[i]
-	leader := p.Placement[0][0]
-	me := node.ID()
+// pipeWorker is one placed stage's execution state, shared between the
+// plain and elastic pipeline tracks: the full seed-built replica, the
+// current plan position's stage views and optimizer, and the
+// deterministic data cursor. The elastic track reconfigures it in
+// place when a re-plan moves the stage boundary or the node's
+// position.
+type pipeWorker struct {
+	node  transport.Node
+	spec  *nn.Spec
+	train *dataset.Dataset
+	val   *dataset.Dataset
+	cfg   *PipelineConfig
+	res   *DistResult
+	resMu *sync.Mutex
 
 	// Every node builds the identical full replica from the seed and
 	// then trains only its own contiguous layer slice. Fused stage
 	// execution is bit-identical to the unfused walk, so where the cut
 	// lands never changes the math.
-	model := spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
-	stage := nn.NewSequential(model.Layers[st.From : st.To+1]...)
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
-	sync := append(stage.Weights(), stage.StateTensors()...)
+	model   *nn.Sequential
+	weights []*tensor.Tensor // full-replica weight views
+	state   []*tensor.Tensor // full-replica batch-norm state views
+	full    []*tensor.Tensor // weights ++ state, the full-model sync set
 
-	// The leader reassembles the full model at epoch end: per-stage
-	// views into its own replica receive the gathered slices.
-	var stageSync [][]*tensor.Tensor
-	if me == leader {
-		stageSync = make([][]*tensor.Tensor, d)
-		for j := 0; j < d; j++ {
-			sj := p.Stages[j]
-			seq := nn.NewSequential(model.Layers[sj.From : sj.To+1]...)
-			stageSync[j] = append(seq.Weights(), seq.StateTensors()...)
+	p     *autoplan.Plan
+	g, i  int
+	stage *nn.Sequential
+	opt   *nn.SGD
+	vel   []*tensor.Tensor // own-stage optimizer velocities
+	sync  []*tensor.Tensor // own-stage weights ++ state
+	// stageSync[j] are per-stage views into the full replica; the
+	// epoch-end leader installs gathered slices through them. Built on
+	// every node because leadership migrates on the elastic track.
+	stageSync [][]*tensor.Tensor
+
+	shards     []*dataset.Dataset
+	shardEpoch int
+	shardN     int
+	it         *dataset.BatchIterator
+
+	syncFlat []float32
+	// elastic switches on the epoch-end leader-served full-model sync
+	// (every placed node ends the epoch holding the aggregated model,
+	// so any survivor can donate state to a re-plan).
+	elastic     bool
+	tick        func(epoch, iter int)
+	selfCrashed func(epoch, iter int) bool
+
+	cIters    *metrics.Counter
+	cActBytes *metrics.Counter
+	cSyncB    *metrics.Counter
+}
+
+func newPipeWorker(node transport.Node, spec *nn.Spec, train, val *dataset.Dataset, cfg *PipelineConfig,
+	res *DistResult, resMu *sync.Mutex) *pipeWorker {
+
+	w := &pipeWorker{
+		node: node, spec: spec, train: train, val: val, cfg: cfg, res: res, resMu: resMu,
+	}
+	w.model = spec.BuildMicro(tensor.NewRNG(cfg.Seed), train.Channels(), train.ImageSize(), train.Classes)
+	w.weights = w.model.Weights()
+	w.state = w.model.StateTensors()
+	w.full = append(append([]*tensor.Tensor{}, w.weights...), w.state...)
+	reg := cfg.Metrics
+	w.cIters = reg.Counter("runtime.iterations")
+	w.cActBytes = reg.Counter("runtime.pipeline.act.bytes")
+	w.cSyncB = reg.Counter("runtime.pipeline.sync.bytes")
+	ticker, _ := node.(transport.FaultTicker)
+	w.tick = func(epoch, iter int) {
+		if ticker != nil {
+			ticker.TickFault(epoch, iter)
 		}
 	}
+	w.selfCrashed = func(epoch, iter int) bool { return false }
+	return w
+}
+
+// configure (re)points the worker at position (g, i) of a plan: stage
+// views, a fresh optimizer (velocities start at zero — an elastic
+// reconfiguration cannot carry momentum across a changed stage
+// boundary), and the per-stage assembly views.
+func (w *pipeWorker) configure(p *autoplan.Plan, g, i int) {
+	w.p, w.g, w.i = p, g, i
+	st := p.Stages[i]
+	w.stage = nn.NewSequential(w.model.Layers[st.From : st.To+1]...)
+	w.opt = nn.NewSGD(w.cfg.LR, w.cfg.Momentum, 0)
+	w.vel = w.opt.VelocityTensors(w.stage.Params())
+	w.sync = append(w.stage.Weights(), w.stage.StateTensors()...)
+	d := p.Depth()
+	w.stageSync = make([][]*tensor.Tensor, d)
+	for j := 0; j < d; j++ {
+		sj := p.Stages[j]
+		seq := nn.NewSequential(w.model.Layers[sj.From : sj.To+1]...)
+		w.stageSync[j] = append(seq.Weights(), seq.StateTensors()...)
+	}
+}
+
+// sameStage reports whether the worker's current stage views remain
+// valid at stage i of plan p — same stage index and identical cut
+// boundaries — so a degrade-in-place or retry keeps optimizer momentum.
+func (w *pipeWorker) sameStage(p *autoplan.Plan, i int) bool {
+	if w.p == nil || w.i != i || len(w.p.Stages) != len(p.Stages) {
+		return false
+	}
+	for j := range p.Stages {
+		if w.p.Stages[j].From != p.Stages[j].From || w.p.Stages[j].To != p.Stages[j].To {
+			return false
+		}
+	}
+	return true
+}
+
+// repoint adopts a plan that kept this node's stage intact (the caller
+// checked sameStage): only the plan reference and group index move;
+// stage views, optimizer, and velocities stay.
+func (w *pipeWorker) repoint(p *autoplan.Plan, g int) {
+	w.p, w.g = p, g
+}
+
+// alignData positions the deterministic data cursor at the start of an
+// epoch under the current plan's group count: the IID shard fold, the
+// reshuffle history, and the epoch's batch iterator — the same seed
+// discipline as the core Pipeline strategy, recomputed from scratch
+// whenever a retry or a re-plan moves the cursor off the incremental
+// path.
+func (w *pipeWorker) alignData(epoch int) {
+	n := w.p.Groups()
+	if w.shards == nil || w.shardN != n || w.shardEpoch > epoch {
+		w.shards = w.train.ShardIID(n, w.cfg.Seed+1)
+		w.shardN = n
+		w.shardEpoch = 0
+	}
+	for ; w.shardEpoch < epoch; w.shardEpoch++ {
+		w.shards = dataset.Reshuffle(w.shards, w.cfg.Seed+uint64(1000+w.shardEpoch))
+	}
+	seed := w.cfg.Seed + uint64(100+w.g)
+	if epoch > 0 {
+		seed = w.cfg.Seed + uint64(2000+(epoch-1)*n+w.g)
+	}
+	w.it = dataset.NewBatchIterator(w.shards[w.g], w.cfg.GlobalBatch, seed)
+}
+
+// runEpoch is one epoch at the worker's current position: the
+// micro-batch relay with its neighbours every iteration, the optimizer
+// step on its own parameters, and the per-epoch cross-group ring plus
+// leader gather. The caller aligns the data cursor first.
+func (w *pipeWorker) runEpoch(epoch int) error {
+	p := w.p
+	cfg := w.cfg
+	n := p.Groups()
+	d := p.Depth()
+	g, i := w.g, w.i
+	me := w.node.ID()
+	leader := p.Placement[0][0]
+	reg := cfg.Metrics
 
 	// The stage-position ring across groups, in group order — every
 	// participant derives the identical member list from the plan.
@@ -167,19 +327,8 @@ func runPipelineStage(node transport.Node, spec *nn.Spec, train, val *dataset.Da
 		next = p.Placement[g][i+1]
 	}
 
-	// Same seed discipline as the core Pipeline strategy, so the mesh
-	// run is bit-comparable to the in-process one.
-	shards := train.ShardIID(n, cfg.Seed+1)
-	shard := shards[g]
-	it := dataset.NewBatchIterator(shard, cfg.GlobalBatch, cfg.Seed+100+uint64(g))
-
-	reg := cfg.Metrics
-	cIters := reg.Counter("runtime.iterations")
-	cActBytes := reg.Counter("runtime.pipeline.act.bytes")
-	var syncFlat []float32
-
 	recvOne := func(from int) (*tensor.Tensor, error) {
-		msg, err := node.Recv(from)
+		msg, err := w.node.Recv(from)
 		if err != nil {
 			return nil, err
 		}
@@ -194,125 +343,179 @@ func runPipelineStage(node transport.Node, spec *nn.Spec, train, val *dataset.Da
 	}
 	sendOne := func(to int, t *tensor.Tensor) error {
 		payload := transport.EncodeTensors([]*tensor.Tensor{t})
-		cActBytes.Add(int64(len(payload)))
-		return node.Send(to, payload)
+		w.cActBytes.Add(int64(len(payload)))
+		return w.node.Send(to, payload)
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochSpan := reg.BeginSpan("epoch", "stage", me)
-		steps := it.BatchesPerEpoch()
-		for s := 0; s < steps; s++ {
-			x, labels := it.Next()
-			bs := x.Shape[0]
-			micro := p.MicroBatches
-			if micro > bs {
-				micro = bs
+	epochSpan := reg.BeginSpan("epoch", "stage", me)
+	defer epochSpan.End()
+	steps := w.it.BatchesPerEpoch()
+	for s := 0; s < steps; s++ {
+		w.tick(epoch, s)
+		if w.selfCrashed(epoch, s) {
+			reg.Emit(metrics.Event{Kind: metrics.KindFault, Epoch: epoch, Iter: s, Node: me, Detail: "crash"})
+			return errSelfCrash
+		}
+		x, labels := w.it.Next()
+		bs := x.Shape[0]
+		micro := p.MicroBatches
+		if micro > bs {
+			micro = bs
+		}
+		w.stage.ZeroGrad()
+		for mbi := 0; mbi < micro; mbi++ {
+			lo := mbi * bs / micro
+			hi := (mbi + 1) * bs / micro
+			if lo == hi {
+				continue
 			}
-			stage.ZeroGrad()
-			for mbi := 0; mbi < micro; mbi++ {
-				lo := mbi * bs / micro
-				hi := (mbi + 1) * bs / micro
-				if lo == hi {
-					continue
-				}
-				// Forward relay: stage 0 feeds its micro-batch slice,
-				// everyone else transforms what the left neighbour sent.
-				var act *tensor.Tensor
-				if i == 0 {
-					act = stage.Forward(tensor.Rows(x, lo, hi), true)
-				} else {
-					in, err := recvOne(prev)
-					if err != nil {
-						return err
-					}
-					act = stage.Forward(in, true)
-				}
-				// Backward relay: the last stage turns logits into a loss
-				// gradient pre-scaled by the micro-batch's share (backward
-				// is linear in the output gradient, so the accumulated
-				// total is the full-batch mean gradient), and input
-				// gradients flow back to stage 0.
-				var outGrad *tensor.Tensor
-				if i == d-1 {
-					_, gr := nn.SoftmaxCrossEntropy(act, labels[lo:hi])
-					tensor.Scale(float32(hi-lo)/float32(bs), gr)
-					outGrad = gr
-				} else {
-					if err := sendOne(next, act); err != nil {
-						return err
-					}
-					gr, err := recvOne(next)
-					if err != nil {
-						return err
-					}
-					outGrad = gr
-				}
-				inGrad := stage.Backward(outGrad)
-				if i > 0 {
-					if err := sendOne(prev, inGrad); err != nil {
-						return err
-					}
-				}
-			}
-			opt.Step(stage.Params())
+			// Forward relay: stage 0 feeds its micro-batch slice,
+			// everyone else transforms what the left neighbour sent.
+			var act *tensor.Tensor
 			if i == 0 {
-				cIters.Inc()
-			}
-		}
-
-		// Delayed aggregation: same-stage nodes average their slice
-		// (weights and batch-norm state) across groups, once per epoch.
-		if n > 1 {
-			syncFlat = flattenInto(syncFlat, sync)
-			if err := RingAllReduceAverage(node, ring, syncFlat); err != nil {
-				return err
-			}
-			unflatten(syncFlat, sync)
-		}
-
-		// Group 0 ships its stage slices to the leader, which assembles
-		// the aggregated full model and evaluates.
-		if g == 0 && i > 0 {
-			if err := node.Send(leader, transport.EncodeTensors(sync)); err != nil {
-				return err
-			}
-		}
-		if me == leader {
-			for j := 1; j < d; j++ {
-				msg, err := node.Recv(p.Placement[0][j])
+				act = w.stage.Forward(tensor.Rows(x, lo, hi), true)
+			} else {
+				in, err := recvOne(prev)
 				if err != nil {
 					return err
 				}
-				ts, err := transport.DecodeTensors(msg)
+				act = w.stage.Forward(in, true)
+			}
+			// Backward relay: the last stage turns logits into a loss
+			// gradient pre-scaled by the micro-batch's share (backward
+			// is linear in the output gradient, so the accumulated
+			// total is the full-batch mean gradient), and input
+			// gradients flow back to stage 0.
+			var outGrad *tensor.Tensor
+			if i == d-1 {
+				_, gr := nn.SoftmaxCrossEntropy(act, labels[lo:hi])
+				tensor.Scale(float32(hi-lo)/float32(bs), gr)
+				outGrad = gr
+			} else {
+				if err := sendOne(next, act); err != nil {
+					return err
+				}
+				gr, err := recvOne(next)
 				if err != nil {
 					return err
 				}
-				if len(ts) != len(stageSync[j]) {
-					return fmt.Errorf("runtime: stage %d gather holds %d tensors, want %d", j, len(ts), len(stageSync[j]))
-				}
-				for k, t := range ts {
-					stageSync[j][k].CopyFrom(t)
-				}
+				outGrad = gr
 			}
-			acc := accuracyOn(model, val)
-			resMu.Lock()
-			res.EpochAccuracies[epoch] = acc
-			if epoch == cfg.Epochs-1 {
-				res.Final = model
-			}
-			resMu.Unlock()
-			reg.ObserveEpoch(epoch, acc, 0)
-			if cfg.EpochEnd != nil {
-				cfg.EpochEnd(epoch, acc)
+			inGrad := w.stage.Backward(outGrad)
+			if i > 0 {
+				if err := sendOne(prev, inGrad); err != nil {
+					return err
+				}
 			}
 		}
+		w.opt.Step(w.stage.Params())
+		if i == 0 {
+			w.cIters.Inc()
+		}
+	}
 
-		// Cross-group reshuffle (§3.1) — identical on every node, same
-		// seeds as the core Pipeline strategy.
-		shards = dataset.Reshuffle(shards, cfg.Seed+1000+uint64(epoch))
-		shard = shards[g]
-		it = dataset.NewBatchIterator(shard, cfg.GlobalBatch, cfg.Seed+2000+uint64(epoch)*uint64(n)+uint64(g))
-		epochSpan.End()
+	w.tick(epoch, transport.IterEpochEnd)
+	if w.selfCrashed(epoch, transport.IterEpochEnd) {
+		reg.Emit(metrics.Event{Kind: metrics.KindFault, Epoch: epoch, Iter: transport.IterEpochEnd, Node: me, Detail: "crash"})
+		return errSelfCrash
+	}
+
+	// Delayed aggregation: same-stage nodes average their slice
+	// (weights and batch-norm state) across groups, once per epoch.
+	if n > 1 {
+		w.syncFlat = flattenInto(w.syncFlat, w.sync)
+		if err := RingAllReduceAverage(w.node, ring, w.syncFlat); err != nil {
+			return err
+		}
+		unflatten(w.syncFlat, w.sync)
+	}
+
+	// Group 0 ships its stage slices to the leader, which assembles
+	// the aggregated full model and evaluates.
+	if g == 0 && i > 0 {
+		if err := w.node.Send(leader, transport.EncodeTensors(w.sync)); err != nil {
+			return err
+		}
+	}
+	if me == leader {
+		for j := 1; j < d; j++ {
+			msg, err := w.node.Recv(p.Placement[0][j])
+			if err != nil {
+				return err
+			}
+			ts, err := transport.DecodeTensors(msg)
+			if err != nil {
+				return err
+			}
+			if len(ts) != len(w.stageSync[j]) {
+				return fmt.Errorf("runtime: stage %d gather holds %d tensors, want %d", j, len(ts), len(w.stageSync[j]))
+			}
+			for k, t := range ts {
+				w.stageSync[j][k].CopyFrom(t)
+			}
+		}
+		acc := accuracyOn(w.model, w.val)
+		w.resMu.Lock()
+		w.res.EpochAccuracies[epoch] = acc
+		if epoch == cfg.Epochs-1 {
+			w.res.Final = w.model
+		}
+		w.resMu.Unlock()
+		reg.ObserveEpoch(epoch, acc, 0)
+		if cfg.EpochEnd != nil {
+			cfg.EpochEnd(epoch, acc)
+		}
+	}
+
+	if w.elastic {
+		// Leader-served full-model sync: every placed node ends the
+		// epoch holding the aggregated model, so a re-plan can source
+		// state from any survivor. Installs are value-identical for a
+		// node's own slices (the ring already agreed bitwise), so the
+		// fault-free math is untouched.
+		if err := w.syncFullModel(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncFullModel ships the leader's assembled model to every other
+// placed node of the current plan and installs it there.
+func (w *pipeWorker) syncFullModel() error {
+	p := w.p
+	me := w.node.ID()
+	leader := p.Placement[0][0]
+	d := p.Depth()
+	if me != leader {
+		msg, err := w.node.Recv(leader)
+		if err != nil {
+			return err
+		}
+		ts, err := transport.DecodeTensors(msg)
+		if err != nil {
+			return err
+		}
+		if len(ts) != len(w.full) {
+			return fmt.Errorf("runtime: full-model sync holds %d tensors, want %d", len(ts), len(w.full))
+		}
+		for k, t := range ts {
+			w.full[k].CopyFrom(t)
+		}
+		return nil
+	}
+	blob := transport.EncodeTensors(w.full)
+	for gg := range p.Placement {
+		for j := 0; j < d; j++ {
+			to := p.Placement[gg][j]
+			if to == me {
+				continue
+			}
+			w.cSyncB.Add(int64(len(blob)))
+			if err := w.node.Send(to, blob); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,217 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"socflow/internal/core"
+	"socflow/internal/nn"
+	autoplan "socflow/internal/plan"
+	"socflow/internal/transport"
+)
+
+// elasticPipePlan searches a pipeline plan for the elastic tests and
+// returns it with the exact options used, so runs can hand the same
+// options to the re-planner (consistent pricing end to end).
+func elasticPipePlan(t *testing.T, socs, maxGroups, batch, samples int) (*autoplan.Plan, *autoplan.Options) {
+	t.Helper()
+	o := &autoplan.Options{
+		Spec:        nn.MustSpec("lenet5"),
+		NumSoCs:     socs,
+		MaxGroups:   maxGroups,
+		GlobalBatch: batch,
+		Samples:     samples,
+		Only:        autoplan.ModePipeline,
+	}
+	p, err := autoplan.Search(*o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, o
+}
+
+// The elastic pipeline track must be a behavioural superset of the
+// plain one: with no faults, the barrier rounds, snapshots, and the
+// epoch-end full-model sync change nothing — per-epoch accuracies and
+// final weights match bit for bit.
+func TestElasticPipelineFaultFreeBitIdentical(t *testing.T) {
+	spec, train, val := elasticFixture(t, 240)
+	p, _ := elasticPipePlan(t, 4, 1, 16, train.Len())
+	js := core.JobSpec{Epochs: 3, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4}
+
+	plain, err := RunPipeline(context.Background(), transport.NewChanMesh(4), spec, train, val, PipelineConfig{
+		JobSpec: js, Plan: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic, err := RunPipeline(context.Background(), transport.NewChanMesh(4), spec, train, val, PipelineConfig{
+		JobSpec: js, Plan: p, Recovery: fastRecovery(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.EpochAccuracies, elastic.EpochAccuracies) {
+		t.Fatalf("epoch accuracies diverged: plain %v vs elastic %v", plain.EpochAccuracies, elastic.EpochAccuracies)
+	}
+	pw, ew := plain.Final.Weights(), elastic.Final.Weights()
+	for ti := range pw {
+		if !reflect.DeepEqual(pw[ti].Data, ew[ti].Data) {
+			t.Fatalf("weight tensor %d differs between plain and elastic runs", ti)
+		}
+	}
+	ps, es := plain.Final.StateTensors(), elastic.Final.StateTensors()
+	for ti := range ps {
+		if !reflect.DeepEqual(ps[ti].Data, es[ti].Data) {
+			t.Fatalf("state tensor %d differs between plain and elastic runs", ti)
+		}
+	}
+	if elastic.Recovery == nil {
+		t.Fatal("elastic result must carry recovery stats")
+	}
+	if s := elastic.Recovery; s.Detections != 0 || s.Retries != 0 || s.Rejoins != 0 {
+		t.Fatalf("fault-free run recorded recovery activity: %+v", s)
+	}
+	if len(elastic.Replans) != 0 {
+		t.Fatalf("fault-free run recorded replan episodes: %+v", elastic.Replans)
+	}
+}
+
+// A permanent stage crash mid-campaign: heartbeats detect it, the
+// planner re-plans onto the surviving fleet, state migrates, and the
+// run completes within the retry budget with accuracy within 2 points
+// of the fault-free run. Every adopted plan's predicted epoch seconds
+// must equal its executed epoch seconds exactly.
+func TestElasticPipelineCrashReplansAndCompletes(t *testing.T) {
+	spec, train, val := elasticFixture(t, 300)
+	p, popts := elasticPipePlan(t, 6, 2, 16, train.Len())
+	js := core.JobSpec{Epochs: 5, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4}
+
+	clean, err := RunPipeline(context.Background(), transport.NewChanMesh(6), spec, train, val, PipelineConfig{
+		JobSpec: js, Plan: p, Recovery: fastRecovery(), Planner: popts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a placed stage of the last group, permanently, mid-epoch.
+	victim := p.Placement[p.Groups()-1][0]
+	res, err := RunPipeline(context.Background(), transport.NewChanMesh(6), spec, train, val, PipelineConfig{
+		JobSpec: js, Plan: p, Recovery: fastRecovery(), Planner: popts,
+		Faults: &transport.FaultPlan{Events: []transport.FaultEvent{
+			{Kind: transport.FaultCrash, Node: victim, Epoch: 1, Iter: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Recovery
+	if s == nil || s.Detections < 1 {
+		t.Fatalf("crash went undetected: %+v", s)
+	}
+	if s.Retries < 1 {
+		t.Fatalf("failed epoch was not retried: %+v", s)
+	}
+	if len(res.Replans) < 1 {
+		t.Fatalf("membership change produced no replan episode: %+v", res.Recovery)
+	}
+	for _, ep := range res.Replans {
+		if ep.Trigger != "crash" {
+			t.Fatalf("episode trigger %q, want crash: %+v", ep.Trigger, ep)
+		}
+		if ep.Decision != "replan" && ep.Decision != "degrade" {
+			t.Fatalf("episode decision %q: %+v", ep.Decision, ep)
+		}
+		if ep.PredictedEpochSeconds != ep.ExecutedEpochSeconds {
+			t.Fatalf("adopted plan predicted %.9fs but executed %.9fs: %+v",
+				ep.PredictedEpochSeconds, ep.ExecutedEpochSeconds, ep)
+		}
+		if ep.OldPlan == "" || ep.NewPlan == "" || ep.OldPlan == ep.NewPlan {
+			t.Fatalf("episode must name distinct old and new plans: %+v", ep)
+		}
+	}
+	finalClean := clean.EpochAccuracies[len(clean.EpochAccuracies)-1]
+	finalElastic := res.EpochAccuracies[len(res.EpochAccuracies)-1]
+	if math.Abs(finalClean-finalElastic) > 0.02+1e-9 {
+		t.Fatalf("final accuracy %v drifted more than 2 points from fault-free %v", finalElastic, finalClean)
+	}
+}
+
+// A tidal shrink delivered on the Resizes channel mid-campaign reclaims
+// the highest-numbered SoCs; the manager re-plans onto what is left and
+// finishes the campaign on the smaller fleet.
+func TestElasticPipelineTidalShrink(t *testing.T) {
+	spec, train, val := elasticFixture(t, 300)
+	p, popts := elasticPipePlan(t, 6, 2, 16, train.Len())
+	resizes := make(chan int, 1)
+	cfg := PipelineConfig{
+		JobSpec:  core.JobSpec{Epochs: 5, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+		Plan:     p,
+		Recovery: fastRecovery(),
+		Planner:  popts,
+		Resizes:  resizes,
+		EpochEnd: func(epoch int, _ float64) {
+			if epoch == 1 {
+				resizes <- 4
+			}
+		},
+	}
+	res, err := RunPipeline(context.Background(), transport.NewChanMesh(6), spec, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery == nil || res.Recovery.MembershipEpoch < 2 {
+		t.Fatalf("shrink to 4 must write out two SoCs: %+v", res.Recovery)
+	}
+	if len(res.Replans) < 1 {
+		t.Fatal("tidal shrink produced no replan episode")
+	}
+	ep := res.Replans[0]
+	if ep.Trigger != "resize" {
+		t.Fatalf("episode trigger %q, want resize: %+v", ep.Trigger, ep)
+	}
+	if ep.PredictedEpochSeconds != ep.ExecutedEpochSeconds {
+		t.Fatalf("adopted plan predicted %.9fs but executed %.9fs", ep.PredictedEpochSeconds, ep.ExecutedEpochSeconds)
+	}
+	best := 0.0
+	for _, a := range res.EpochAccuracies {
+		if a > best {
+			best = a
+		}
+	}
+	if best < 0.75 {
+		t.Fatalf("shrunken pipeline run reached only %v", best)
+	}
+}
+
+// Without a Planner the elastic pipeline still recovers by degrading in
+// place: the broken group is dropped and the survivors carry the
+// campaign.
+func TestElasticPipelineDegradeOnlyRecovery(t *testing.T) {
+	spec, train, val := elasticFixture(t, 300)
+	p, _ := elasticPipePlan(t, 6, 2, 16, train.Len())
+	if p.Groups() < 2 {
+		t.Skipf("search chose %d group(s); degrade-only test needs 2", p.Groups())
+	}
+	victim := p.Placement[p.Groups()-1][0]
+	res, err := RunPipeline(context.Background(), transport.NewChanMesh(6), spec, train, val, PipelineConfig{
+		JobSpec:  core.JobSpec{Epochs: 4, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+		Plan:     p,
+		Recovery: fastRecovery(),
+		Faults: &transport.FaultPlan{Events: []transport.FaultEvent{
+			{Kind: transport.FaultCrash, Node: victim, Epoch: 1, Iter: 0},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replans) < 1 {
+		t.Fatal("degrade-only recovery must still record its decision")
+	}
+	if d := res.Replans[0].Decision; d != "degrade" {
+		t.Fatalf("decision %q without a Planner, want degrade", d)
+	}
+}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"socflow/internal/cluster"
@@ -87,6 +88,40 @@ func TestRunPipelineMatchesCoreStrategyBitwise(t *testing.T) {
 		if !reflect.DeepEqual(ds[ti].Data, want.FinalState[ti].Data) {
 			t.Fatalf("state tensor %d differs between mesh and core runs", ti)
 		}
+	}
+}
+
+// Regression: the plain pipeline path must tick the shared fault clock
+// every iteration. Before the fix, stage workers never called
+// FaultTicker, so a scripted crash (DistributedConfig.InjectCrashes
+// under Parallelism "pipeline") silently never fired and the run
+// completed as if fault-free. Now the crash trips the transport and
+// tears the mesh down with a stage-worker-named error.
+func TestRunPipelineTicksFaultPlan(t *testing.T) {
+	prof := dataset.MustProfile("celeba")
+	full := prof.Generate(dataset.GenOptions{Samples: 200, Seed: 9})
+	train, val := full.Split(0.8)
+	spec := nn.MustSpec("lenet5")
+	p, err := autoplan.Search(autoplan.Options{
+		Spec: spec, NumSoCs: 4, MaxGroups: 1, GlobalBatch: 16, Samples: train.Len(),
+		Only: autoplan.ModePipeline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := p.Placement[0][1]
+	_, err = RunPipeline(context.Background(), transport.NewChanMesh(4), spec, train, val, PipelineConfig{
+		JobSpec: core.JobSpec{Epochs: 2, GlobalBatch: 16, LR: 0.03, Momentum: 0.9, Seed: 4},
+		Plan:    p,
+		Faults: &transport.FaultPlan{Events: []transport.FaultEvent{
+			{Kind: transport.FaultCrash, Node: victim, Epoch: 0, Iter: 1},
+		}},
+	})
+	if err == nil {
+		t.Fatal("scripted crash never fired: the pipeline is not ticking the fault plan")
+	}
+	if !strings.Contains(err.Error(), "stage worker") {
+		t.Fatalf("teardown error must name the failing stage worker, got: %v", err)
 	}
 }
 

@@ -109,6 +109,9 @@ type DistResult struct {
 	// Recovery carries the elastic track's counters (detections,
 	// rejoins, retries, state-transfer bytes); nil on the plain track.
 	Recovery *RecoveryStats
+	// Replans lists the elastic pipeline track's replan-vs-degrade
+	// decisions in adoption order; nil when membership never changed.
+	Replans []ReplanEpisode
 }
 
 // RunDistributed executes SoCFlow's group-wise protocol for real: one

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socflow/internal/cluster"
 )
@@ -561,4 +562,96 @@ func (s *Server) Close() {
 		cb()
 	}
 	s.wg.Wait()
+}
+
+// Drain winds the control plane down without abandoning preemptible
+// progress: further submissions are rejected, queued jobs and
+// non-preemptible running jobs are canceled, and every running
+// preemptible job is asked to park through the normal checkpoint path
+// — exactly the request a tidal preemption makes — so its state
+// survives for a future server generation. Drain waits until every
+// in-flight segment has exited; if ctx expires first the stragglers
+// are canceled like Close. It returns how many jobs ended parked.
+func (s *Server) Drain(ctx context.Context) int {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return s.parkedCount()
+	}
+	s.closed = true
+	var callbacks []func()
+	for _, j := range s.jobs {
+		switch j.state {
+		case JobQueued:
+			j.canceled = true
+			j.state = JobCanceled
+			j.err = context.Canceled
+			close(j.done)
+			if j.spec.OnTerminal != nil {
+				callbacks = append(callbacks, j.spec.OnTerminal)
+			}
+		case JobRunning, JobParking:
+			if j.spec.Preemptible {
+				// The park request; the segment checkpoints at its
+				// next epoch boundary and returns ErrParked.
+				j.state = JobParking
+				j.ctl.park.Store(true)
+			} else {
+				j.canceled = true
+				if j.cancel != nil {
+					j.cancel()
+				}
+			}
+		}
+		// JobParked and terminal jobs are left as they are: a parked
+		// job's checkpoint is already safe on disk.
+	}
+	s.mu.Unlock()
+	for _, cb := range callbacks {
+		cb()
+	}
+
+	for !s.quiesced() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				if (j.state == JobRunning || j.state == JobParking) && j.cancel != nil {
+					j.canceled = true
+					j.cancel()
+				}
+			}
+			s.mu.Unlock()
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	s.wg.Wait()
+	return s.parkedCount()
+}
+
+// quiesced reports whether no segment is still on the cluster.
+func (s *Server) quiesced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.state == JobRunning || j.state == JobParking {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) parkedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == JobParked {
+			n++
+		}
+	}
+	return n
 }

@@ -451,3 +451,65 @@ func TestResizeSqueezesTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Drain is the graceful-shutdown path: running preemptible work is
+// parked through the normal checkpoint request instead of canceled, so
+// a later server generation can resume it; non-preemptible and queued
+// jobs are canceled; parked jobs stay parked.
+func TestDrainParksPreemptibleJobs(t *testing.T) {
+	s := New(Config{TotalSoCs: 8})
+	begin := make(chan *Controller, 2)
+	stepP := make(chan struct{})
+	ackP := make(chan struct{})
+	stepH := make(chan struct{})
+
+	pre, err := s.Submit(JobSpec{Tenant: "a", SoCs: 4, Epochs: 4, Preemptible: true, Run: fakeRun(4, begin, stepP, ackP)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := s.Submit(JobSpec{Tenant: "a", SoCs: 4, Epochs: 4, Run: fakeRun(4, begin, stepH, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begin
+	<-begin
+	queued, err := s.Submit(JobSpec{Tenant: "a", SoCs: 4, Epochs: 4, Run: fakeRun(4, begin, stepH, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the preemptible job finish epoch 0 before the drain begins.
+	stepP <- struct{}{}
+	<-ackP
+
+	drained := make(chan int, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Drain marks the preemptible job parking synchronously; wait for
+	// the request, then step the job to its next epoch boundary where
+	// it honors it.
+	for {
+		if st, _ := s.Get(pre); st.State == JobParking {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stepP <- struct{}{}
+	<-ackP
+
+	if n := <-drained; n != 1 {
+		t.Fatalf("Drain parked %d jobs, want 1", n)
+	}
+	if st, _ := s.Get(pre); st.State != JobParked || st.EpochsDone != 2 {
+		t.Fatalf("preemptible job: %+v, want parked after 2 epochs", st)
+	}
+	if st, _ := s.Get(hard); st.State != JobCanceled {
+		t.Fatalf("non-preemptible job: %+v, want canceled", st)
+	}
+	if st, _ := s.Get(queued); st.State != JobCanceled {
+		t.Fatalf("queued job: %+v, want canceled", st)
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "a", SoCs: 1, Epochs: 1, Run: fakeRun(1, begin, stepH, nil)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain: %v, want ErrClosed", err)
+	}
+}

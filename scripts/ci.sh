@@ -33,3 +33,9 @@ make chaos
 # within 35% of the committed parallelism=1 ns/op baseline (emits
 # BENCH_pr7.json).
 ./scripts/bench_compare.sh
+# Elastic re-planning gate: the pipeline track recovers from a stage
+# crash and a tidal shrink via planner-driven re-planning; the harness
+# asserts fault-free bit-identity to the plain pipeline and
+# predicted == executed epoch seconds on every adopted plan (emits
+# BENCH_pr10.json).
+make bench-replan

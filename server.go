@@ -122,3 +122,11 @@ func (s *Server) PeakRunning(tenant string) int { return s.srv.PeakRunning(tenan
 
 // Close cancels all jobs and shuts the scheduler down.
 func (s *Server) Close() { s.srv.Close() }
+
+// Drain shuts the scheduler down gracefully: running preemptible jobs
+// are parked through the normal checkpoint path instead of being
+// canceled, so their progress survives for the next server process.
+// Queued and non-preemptible jobs are canceled. Drain waits for every
+// in-flight segment to exit (canceling stragglers when ctx expires)
+// and returns how many jobs ended parked.
+func (s *Server) Drain(ctx context.Context) int { return s.srv.Drain(ctx) }
